@@ -1,0 +1,10 @@
+"""Benchmark harness: one module per experiment (E1–E10) plus kernel benches.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each experiment bench executes the registered experiment at small scale,
+prints the paper-facing table (add ``-s`` to see it) and asserts the paper's
+shape-level claim; ``bench_kernels.py`` times the core computational kernels.
+"""

@@ -1,0 +1,15 @@
+"""Bench E10 — the protocol landscape across the horizon d."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e10_landscape(benchmark):
+    table = run_experiment_bench(benchmark, "E10")
+    rows = sorted(table.rows, key=lambda row: row["d"])
+    naive_growth = rows[-1]["naive_split"] / rows[0]["naive_split"]
+    ours_growth = rows[-1]["future_rand"] / rows[0]["future_rand"]
+    benchmark.extra_info["naive_growth"] = naive_growth
+    benchmark.extra_info["future_rand_growth"] = ours_growth
+    assert naive_growth > ours_growth

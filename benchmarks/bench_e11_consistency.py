@@ -1,0 +1,12 @@
+"""Bench E11 — ablation: WLS consistency post-processing on the report tree."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e11_consistency(benchmark):
+    table = run_experiment_bench(benchmark, "E11")
+    largest = max(table.rows, key=lambda row: row["d"])
+    benchmark.extra_info["improvement_at_largest_d"] = largest["improvement"]
+    assert largest["improvement"] > 1.2

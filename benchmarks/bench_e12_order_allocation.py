@@ -1,0 +1,12 @@
+"""Bench E12 — ablation: order-sampling allocation (uniform is minimax)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e12_order_allocation(benchmark):
+    table = run_experiment_bench(benchmark, "E12")
+    errors = {row["allocation"]: row["raw_max_abs"] for row in table.rows}
+    benchmark.extra_info["raw_errors"] = errors
+    assert errors["uniform"] < errors["root_heavy"]

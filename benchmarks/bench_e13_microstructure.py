@@ -1,0 +1,13 @@
+"""Bench E13 — error std tracks sqrt(popcount(t)) (exact variance formula)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e13_microstructure(benchmark):
+    table = run_experiment_bench(benchmark, "E13")
+    ratios = [row["ratio"] for row in table.rows]
+    benchmark.extra_info["worst_ratio"] = max(ratios)
+    # The measured/predicted ratio should be near 1 for every popcount class.
+    assert all(0.7 < ratio < 1.3 for ratio in ratios)

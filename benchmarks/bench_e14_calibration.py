@@ -1,0 +1,16 @@
+"""Bench E14 — exact budget calibration beats the 5*sqrt(k) closed form."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e14_calibration(benchmark):
+    table = run_experiment_bench(benchmark, "E14")
+    gains = [
+        row["gain"] for row in table.rows if not math.isnan(row["multiplier"])
+    ]
+    benchmark.extra_info["min_constant_gain"] = min(gains)
+    assert min(gains) > 1.5  # at least 1.5x free accuracy everywhere

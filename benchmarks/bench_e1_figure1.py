@@ -1,0 +1,13 @@
+"""Bench E1 — regenerate Figure 1 / Examples 3.3 & 3.5 (exact reproduction)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e1_figure1(benchmark):
+    table = run_experiment_bench(benchmark, "E1")
+    assert len(table.rows) == 7
+    benchmark.extra_info["highlighted"] = [
+        row["interval"] for row in table.rows if row["in_C(3)"]
+    ]

@@ -1,0 +1,13 @@
+"""Bench E2 — Theorem 4.1: max error scales like sqrt(k)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e2_error_vs_k(benchmark):
+    table = run_experiment_bench(benchmark, "E2")
+    fit = [row for row in table.rows if row["protocol"] == "fit"][0]
+    exponent = fit["mean_max_abs"]
+    benchmark.extra_info["fitted_k_exponent"] = exponent
+    assert 0.25 < exponent < 0.75

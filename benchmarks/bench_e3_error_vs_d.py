@@ -1,0 +1,13 @@
+"""Bench E3 — Theorem 4.1: max error grows ~log d (sub-polynomial)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e3_error_vs_d(benchmark):
+    table = run_experiment_bench(benchmark, "E3")
+    fit = [row for row in table.rows if row["protocol"] == "fit"][0]
+    exponent = fit["mean_max_abs"]
+    benchmark.extra_info["fitted_d_exponent"] = exponent
+    assert exponent < 0.6

@@ -1,0 +1,17 @@
+"""Bench E4 — Theorem 4.1: error scales like sqrt(n) and 1/epsilon."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e4_error_vs_n_eps(benchmark):
+    table = run_experiment_bench(benchmark, "E4")
+    fits = {
+        row["sweep"]: row["value"]
+        for row in table.rows
+        if str(row["sweep"]).startswith("fit")
+    }
+    benchmark.extra_info.update(fits)
+    assert 0.3 < fits["fit_n_exponent"] < 0.7
+    assert -1.4 < fits["fit_eps_exponent"] < -0.6

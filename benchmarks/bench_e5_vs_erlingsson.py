@@ -1,0 +1,13 @@
+"""Bench E5 — the sqrt(k) vs k separation against Erlingsson et al. (2020)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e5_vs_erlingsson(benchmark):
+    table = run_experiment_bench(benchmark, "E5")
+    largest = max(table.rows, key=lambda row: row["k"])
+    benchmark.extra_info["winner_at_largest_k"] = largest["winner"]
+    benchmark.extra_info["ratio_at_largest_k"] = largest["ratio_erl_over_fr"]
+    assert largest["winner"] == "future_rand"

@@ -1,0 +1,12 @@
+"""Bench E6 — Lemma 5.3: exact c_gap constants (no simulation)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e6_cgap(benchmark):
+    table = run_experiment_bench(benchmark, "E6")
+    normalized = [row["future_normalized"] for row in table.rows if row["k"] >= 4]
+    benchmark.extra_info["min_normalized_constant"] = min(normalized)
+    assert min(normalized) > 0.05

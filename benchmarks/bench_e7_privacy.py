@@ -1,0 +1,13 @@
+"""Bench E7 — Lemma 5.2 / Theorem 4.5: exact epsilon verification."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e7_privacy(benchmark):
+    table = run_experiment_bench(benchmark, "E7")
+    benchmark.extra_info["max_budget_spent_fraction"] = max(
+        row["budget_spent_fraction"] for row in table.rows
+    )
+    assert all(row["holds"] == "yes" for row in table.rows)

@@ -1,0 +1,12 @@
+"""Bench E8 — Theorem A.8: FutureRand vs the Bun et al. composed randomizer."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e8_bun(benchmark):
+    table = run_experiment_bench(benchmark, "E8")
+    last = max(table.rows, key=lambda row: row["k"])
+    benchmark.extra_info["advantage_at_largest_k"] = last["advantage_ratio"]
+    assert last["advantage_ratio"] > 1.0

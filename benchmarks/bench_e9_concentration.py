@@ -1,0 +1,13 @@
+"""Bench E9 — unbiasedness (Obs. 4.3) and the Eq. 13 concentration radius."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_experiment_bench
+
+
+def bench_e9_concentration(benchmark):
+    table = run_experiment_bench(benchmark, "E9")
+    benchmark.extra_info["worst_bias_z"] = max(
+        abs(row["bias_z_score"]) for row in table.rows
+    )
+    assert all(row["within_radius_fraction"] == 1.0 for row in table.rows)

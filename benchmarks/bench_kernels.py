@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the core computational kernels.
+
+These quantify the practicality claims a deployment would care about: client
+report generation is microseconds, the composed randomizer's pre-computation
+is linear in ``k``, and the vectorized driver processes millions of
+user-periods per second.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.annulus import AnnulusLaw
+from repro.core.composed_randomizer import ComposedRandomizer
+from repro.core.future_rand import FutureRandFamily
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import run_batch
+from repro.workloads.generators import BoundedChangePopulation
+
+
+def bench_annulus_law_construction(benchmark):
+    """Exact law + c_gap at k=1024 (the server's setup cost)."""
+
+    def build():
+        law = AnnulusLaw.for_future_rand(1024, 1.0)
+        return law.c_gap
+
+    c_gap = benchmark(build)
+    assert c_gap > 0
+
+
+def bench_composed_sampler_batch(benchmark):
+    """10k independent R~(1^64) draws (client pre-computation, batched)."""
+    law = AnnulusLaw.for_future_rand(64, 1.0)
+    sampler = ComposedRandomizer(law)
+    ones = np.ones(64, dtype=np.int8)
+    rng = np.random.default_rng(0)
+    result = benchmark(sampler.sample_batch, ones, 10_000, rng)
+    assert result.shape == (10_000, 64)
+
+
+def bench_future_rand_client_init(benchmark):
+    """One client's M.init (pre-computation) at k=64, L=256."""
+    family = FutureRandFamily(64, 1.0)
+    rng = np.random.default_rng(0)
+    randomizer = benchmark(family.spawn, 256, rng)
+    assert randomizer.sparsity == 64
+
+
+def bench_randomize_matrix(benchmark):
+    """Vectorized FutureRand over a (5000, 128) partial-sum matrix."""
+    family = FutureRandFamily(8, 1.0)
+    rng = np.random.default_rng(1)
+    values = np.zeros((5000, 128), dtype=np.int8)
+    values[:, 3] = 1
+    values[:, 77] = -1
+    result = benchmark(family.randomize_matrix, values, rng)
+    assert result.shape == (5000, 128)
+
+
+def bench_protocol_run_batch(benchmark):
+    """Full protocol, 20k users x 256 periods (the E2 'full' unit of work)."""
+    params = ProtocolParams(n=20_000, d=256, k=4, epsilon=1.0)
+    states = BoundedChangePopulation(params.d, params.k, exact_k=True).sample(
+        params.n, np.random.default_rng(2)
+    )
+    rng = np.random.default_rng(3)
+    result = benchmark.pedantic(
+        run_batch, args=(states, params, rng), rounds=1, iterations=1
+    )
+    benchmark.extra_info["user_periods"] = params.n * params.d
+    assert result.estimates.shape == (256,)

@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Each experiment bench executes its experiment once under pytest-benchmark
+timing (pedantic mode, one round — the experiments are end-to-end protocol
+runs, not micro-kernels), prints the paper-facing result table, and attaches
+the headline numbers to ``benchmark.extra_info`` so they survive into the
+benchmark JSON.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import get_experiment
+from repro.sim.results import ResultTable
+
+
+def run_experiment_bench(benchmark, experiment_id: str, seed: int = 0) -> ResultTable:
+    """Execute one registered experiment under the benchmark fixture."""
+    spec = get_experiment(experiment_id)
+    table = benchmark.pedantic(
+        spec.run, kwargs={"scale": "small", "seed": seed}, rounds=1, iterations=1
+    )
+    print()
+    print(table.to_markdown())
+    benchmark.extra_info["experiment"] = spec.experiment_id
+    benchmark.extra_info["claim"] = spec.paper_claim
+    return table

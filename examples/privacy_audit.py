@@ -1,0 +1,57 @@
+"""Privacy audit: verify the epsilon guarantee *exactly*, then watch it fail
+for a mis-calibrated randomizer.
+
+Differential privacy is a worst-case property of output distributions, so it
+can't be demonstrated by sampling — but this library's composed randomizer
+has a closed-form law, so the guarantee can be *computed*.  This example:
+
+1. prints the exact privacy ledger of FutureRand across k,
+2. shows what the budget would be if a careless implementer reused the
+   Example 4.2 per-coordinate budget ``epsilon`` (instead of ``epsilon/k``)
+   — the classic longitudinal-composition mistake the paper is about.
+
+Run:  python examples/privacy_audit.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.privacy import client_report_log_ratio
+from repro.core.annulus import AnnulusLaw
+
+EPSILON = 1.0
+
+
+def main() -> None:
+    print(f"target budget: epsilon = {EPSILON}")
+    print()
+    print("  k   composed ratio   client ratio   budget spent")
+    for k in (1, 2, 4, 8, 16, 32):
+        law = AnnulusLaw.for_future_rand(k, EPSILON)
+        composed = law.privacy_log_ratio()
+        client = client_report_log_ratio(law)
+        print(
+            f"{k:3d}   {composed:14.4f}   {client:12.4f}   "
+            f"{client / EPSILON:10.1%}   {'OK' if client <= EPSILON else 'VIOLATION'}"
+        )
+
+    print()
+    print("mis-calibrated independent randomizer (per-coordinate budget = epsilon):")
+    for k in (1, 4, 16):
+        # Each of the k non-zero coordinates leaks a full epsilon; the joint
+        # report law ratio composes to k * epsilon.
+        leaked = k * EPSILON
+        print(
+            f"  k={k:2d}: end-to-end ratio e^{leaked:.1f} "
+            f"({'OK' if leaked <= EPSILON else f'VIOLATION - {leaked / EPSILON:.0f}x over budget'})"
+        )
+    print()
+    print(
+        "FutureRand spends a *constant* budget regardless of k by correlating\n"
+        "the per-coordinate noise (the annulus construction of Section 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Compatibility shim: enables legacy editable installs on environments whose
+setuptools predates native ``bdist_wheel`` (no ``wheel`` package available)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""The memoization baseline (Section 6, "Local Model": [5, 9]).
+
+RAPPOR-style *permanent randomized response*: each user randomizes each
+distinct value once, memoizes the noisy answer, and replays it whenever the
+true value recurs.  Replayed answers add no fresh privacy loss for the
+*value*, so accuracy does not decay with ``d`` — but, as Ding et al. [5] point
+out and the paper reiterates, the scheme **violates differential privacy for
+the sequence**: the report stream switches exactly when the user's value
+switches, so change times (and, across users, the existence of change) leak
+with certainty.
+
+The implementation exists to quantify that trade-off: near-naive-unsplit
+accuracy, broken longitudinal privacy.  ``change_time_leakage`` makes the
+violation concrete by recovering users' change times from their own report
+streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.basic_randomizer import basic_c_gap
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolResult
+from repro.utils.rng import as_generator
+
+__all__ = ["run_memoization", "change_time_leakage"]
+
+
+def _memoized_reports(
+    states: np.ndarray, epsilon: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Return each user's replayed permanent-RR stream (signs in {-1, +1})."""
+    n, d = states.shape
+    signs = (2 * states.astype(np.int8) - 1).astype(np.int8)
+    flip_probability = 1.0 / (math.exp(epsilon) + 1.0)
+    # One memoized answer per (user, value): what the user reports while
+    # holding value 0 and while holding value 1.
+    flips_for_zero = rng.random(n) < flip_probability
+    flips_for_one = rng.random(n) < flip_probability
+    answer_for_zero = np.where(flips_for_zero, 1, -1).astype(np.int8)
+    answer_for_one = np.where(flips_for_one, -1, 1).astype(np.int8)
+    return np.where(signs == 1, answer_for_one[:, np.newaxis], answer_for_zero[:, np.newaxis])
+
+
+def run_memoization(
+    states: np.ndarray,
+    params: ProtocolParams,
+    rng: Optional[np.random.Generator] = None,
+) -> ProtocolResult:
+    """Execute the memoization baseline.
+
+    .. warning::
+       This protocol is ``epsilon``-DP only for each user's *current value in
+       isolation*; the report sequence leaks change times exactly (it is
+       **not** ``epsilon``-LDP for the longitudinal data).  Kept as the
+       cautionary baseline the paper's related work discusses.
+    """
+    matrix = np.asarray(states)
+    if matrix.shape != (params.n, params.d):
+        raise ValueError(
+            f"states shape {matrix.shape} disagrees with params "
+            f"(n={params.n}, d={params.d})"
+        )
+    if not np.isin(matrix, (0, 1)).all():
+        raise ValueError("states entries must all be 0 or 1")
+    rng = as_generator(rng)
+    reports = _memoized_reports(matrix, params.epsilon, rng)
+    c_gap = basic_c_gap(params.epsilon)
+    column_sums = reports.sum(axis=0).astype(np.float64)
+    estimates = (column_sums / c_gap + params.n) / 2.0
+    return ProtocolResult(
+        estimates=estimates,
+        true_counts=matrix.sum(axis=0).astype(np.float64),
+        c_gap=c_gap,
+        family_name="memoization(NOT sequence-LDP)",
+        orders=None,
+    )
+
+
+def change_time_leakage(
+    states: np.ndarray,
+    epsilon: float,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Return the fraction of true change times an adversary recovers exactly.
+
+    The attack is trivial: a memoizing user's report changes at time ``t``
+    if and only if their value changed at ``t`` *and* their two memoized
+    answers differ.  For those users every change time is recovered with
+    certainty; the only "protection" is the chance the two memoized answers
+    coincide.  Values near 1 demonstrate the privacy failure.
+    """
+    matrix = np.asarray(states)
+    if matrix.ndim != 2:
+        raise ValueError(f"states must be 2-D (n, d), got shape {matrix.shape}")
+    rng = as_generator(rng)
+    reports = _memoized_reports(matrix, epsilon, rng)
+    true_changes = np.diff(matrix, axis=1) != 0
+    report_changes = np.diff(reports, axis=1) != 0
+    total_changes = int(true_changes.sum())
+    if total_changes == 0:
+        return 0.0
+    recovered = int((true_changes & report_changes).sum())
+    # Report changes can only occur at true changes (no false positives),
+    # so recovered / total is exactly the adversary's recall at precision 1.
+    return recovered / total_changes

@@ -1,0 +1,100 @@
+"""Naive repeated randomized response (the Section 1 strawman).
+
+Re-running a one-shot LDP protocol every period composes privacy loss
+linearly, so the budget must be split: each period gets ``epsilon / d`` and
+accuracy collapses (error linear in ``d``).  ``run_naive_unsplit`` keeps the
+full ``epsilon`` per period — it is **not** ``epsilon``-LDP (its end-to-end
+budget is ``d * epsilon``) and exists solely to quantify the privacy/utility
+cliff the paper's introduction describes; the function name and docstring
+carry the warning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.basic_randomizer import basic_c_gap
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolResult
+from repro.utils.rng import as_generator
+
+__all__ = ["run_naive_split", "run_naive_unsplit"]
+
+
+def _run_repeated_rr(
+    states: np.ndarray,
+    params: ProtocolParams,
+    per_period_epsilon: float,
+    rng: np.random.Generator,
+    family_name: str,
+) -> ProtocolResult:
+    """Shared kernel: RR each user's current value every period, then debias.
+
+    The current Boolean value is encoded as a sign (``2 * st - 1``), perturbed
+    with the basic randomizer, and the server inverts
+    ``E[w] = c_gap * (2 st - 1)`` to estimate the count of ones:
+
+        ``a_hat[t] = ( sum_u w_u[t] / c_gap + n ) / 2``.
+    """
+    matrix = np.asarray(states)
+    if matrix.ndim != 2:
+        raise ValueError(f"states must be 2-D (n, d), got shape {matrix.shape}")
+    if matrix.shape != (params.n, params.d):
+        raise ValueError(
+            f"states shape {matrix.shape} disagrees with params "
+            f"(n={params.n}, d={params.d})"
+        )
+    if not np.isin(matrix, (0, 1)).all():
+        raise ValueError("states entries must all be 0 or 1")
+    c_gap = basic_c_gap(per_period_epsilon)
+    flip_probability = 1.0 / (math.exp(per_period_epsilon) + 1.0)
+    signs = (2 * matrix.astype(np.int8) - 1).astype(np.int8)
+    flips = rng.random(matrix.shape) < flip_probability
+    reports = np.where(flips, -signs, signs)
+    column_sums = reports.sum(axis=0).astype(np.float64)
+    estimates = (column_sums / c_gap + params.n) / 2.0
+    true_counts = matrix.sum(axis=0).astype(np.float64)
+    return ProtocolResult(
+        estimates=estimates,
+        true_counts=true_counts,
+        c_gap=c_gap,
+        family_name=family_name,
+        orders=None,
+    )
+
+
+def run_naive_split(
+    states: np.ndarray,
+    params: ProtocolParams,
+    rng: Optional[np.random.Generator] = None,
+) -> ProtocolResult:
+    """Repeated RR with per-period budget ``epsilon / d`` (``epsilon``-LDP overall).
+
+    Sequential composition across the ``d`` reports yields total budget
+    ``d * (epsilon / d) = epsilon``; the per-period gap
+    ``tanh(eps / 2d)`` makes the error scale linearly with ``d``.
+    """
+    rng = as_generator(rng)
+    return _run_repeated_rr(
+        states, params, params.epsilon / params.d, rng, "naive_rr_split"
+    )
+
+
+def run_naive_unsplit(
+    states: np.ndarray,
+    params: ProtocolParams,
+    rng: Optional[np.random.Generator] = None,
+) -> ProtocolResult:
+    """Repeated RR spending the *full* ``epsilon`` every period.
+
+    .. warning::
+       This protocol is **not** ``epsilon``-LDP: by sequential composition its
+       end-to-end privacy loss is ``d * epsilon``.  It is included only as the
+       accuracy ceiling naive repetition could buy by silently degrading
+       privacy — the trade-off the paper's introduction warns about.
+    """
+    rng = as_generator(rng)
+    return _run_repeated_rr(states, params, params.epsilon, rng, "naive_rr_unsplit")

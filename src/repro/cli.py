@@ -1,0 +1,231 @@
+"""Command-line interface: run experiments and inspect protocol constants.
+
+Usage::
+
+    repro list                      # show every experiment and its claim
+    repro run E2 --scale small      # run one experiment, print its table
+    repro run all --scale full      # regenerate everything (EXPERIMENTS.md)
+    repro cgap --k 64 --epsilon 1.0 # print exact randomizer constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.annulus import AnnulusLaw
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Randomize the Future' (PODS 2022).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list every experiment")
+
+    run_parser = subparsers.add_parser("run", help="run an experiment")
+    run_parser.add_argument("experiment", help="experiment id (E1..E10) or 'all'")
+    run_parser.add_argument(
+        "--scale", choices=("small", "full"), default="small",
+        help="small: seconds; full: the EXPERIMENTS.md configuration",
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--json", dest="json_dir", default=None,
+        help="also write <id>.json result files into this directory",
+    )
+
+    cgap_parser = subparsers.add_parser(
+        "cgap", help="print exact FutureRand constants for (k, epsilon)"
+    )
+    cgap_parser.add_argument("--k", type=int, required=True)
+    cgap_parser.add_argument("--epsilon", type=float, default=1.0)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="verify every Appendix A.1 inequality at (k, epsilon)"
+    )
+    verify_parser.add_argument("--k", type=int, required=True)
+    verify_parser.add_argument("--epsilon", type=float, default=1.0)
+
+    communication_parser = subparsers.add_parser(
+        "communication", help="per-user communication cost table"
+    )
+    communication_parser.add_argument("--d", type=int, default=256)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run one protocol on a generated workload"
+    )
+    simulate_parser.add_argument(
+        "--protocol",
+        choices=(
+            "future_rand",
+            "erlingsson",
+            "naive_split",
+            "offline_tree",
+            "central_tree",
+        ),
+        default="future_rand",
+    )
+    simulate_parser.add_argument("--n", type=int, default=100_000)
+    simulate_parser.add_argument("--d", type=int, default=256)
+    simulate_parser.add_argument("--k", type=int, default=4)
+    simulate_parser.add_argument("--epsilon", type=float, default=1.0)
+    simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.add_argument(
+        "--consistency",
+        action="store_true",
+        help="apply WLS tree-consistency post-processing (future_rand only)",
+    )
+    return parser
+
+
+def _command_list() -> int:
+    for spec in EXPERIMENTS.values():
+        print(f"{spec.experiment_id:4s} {spec.title}")
+        print(f"     {spec.paper_claim}")
+    return 0
+
+
+def _command_run(experiment: str, scale: str, seed: int, json_dir: Optional[str]) -> int:
+    ids = sorted(EXPERIMENTS) if experiment.lower() == "all" else [experiment]
+    for experiment_id in ids:
+        spec = get_experiment(experiment_id)
+        table = spec.run(scale=scale, seed=seed)
+        print(table.to_markdown())
+        print()
+        if json_dir is not None:
+            directory = Path(json_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{spec.experiment_id}.json"
+            path.write_text(table.to_json())
+            print(f"(wrote {path})")
+    return 0
+
+
+def _command_cgap(k: int, epsilon: float) -> int:
+    law = AnnulusLaw.for_future_rand(k, epsilon)
+    payload = {
+        "k": k,
+        "epsilon": epsilon,
+        "eps_tilde": law.eps_tilde,
+        "flip_probability": law.flip_probability,
+        "annulus": [law.lo, law.hi],
+        "real_bounds": list(law.real_bounds),
+        "c_gap": law.c_gap,
+        "c_gap_normalized": law.c_gap * (k**0.5) / epsilon,
+        "privacy_log_ratio": law.privacy_log_ratio(),
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _command_verify(k: int, epsilon: float) -> int:
+    from repro.analysis.appendix_checks import verification_report
+
+    print(verification_report(k, epsilon).to_markdown())
+    return 0
+
+
+def _command_communication(d: int) -> int:
+    from repro.analysis.communication import communication_table
+    from repro.core.params import ProtocolParams
+
+    params = ProtocolParams(n=1, d=d, k=1, epsilon=1.0)
+    print(communication_table(params).to_markdown())
+    return 0
+
+
+def _command_simulate(
+    protocol: str,
+    n: int,
+    d: int,
+    k: int,
+    epsilon: float,
+    seed: int,
+    consistency: bool,
+) -> int:
+    import numpy as np
+
+    from repro.analysis.bounds import hoeffding_radius
+    from repro.core.params import ProtocolParams
+    from repro.core.vectorized import collect_tree_reports, run_batch
+    from repro.postprocess.consistency import consistent_result
+    from repro.utils.rng import spawn_generators
+    from repro.workloads.generators import BoundedChangePopulation
+
+    params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+    workload_rng, protocol_rng = spawn_generators(np.random.SeedSequence(seed), 2)
+    states = BoundedChangePopulation(d, k, start_prob=0.3).sample(n, workload_rng)
+
+    if protocol == "future_rand":
+        if consistency:
+            reports = collect_tree_reports(states, params, protocol_rng)
+            result = consistent_result(reports)
+        else:
+            result = run_batch(states, params, protocol_rng)
+    else:
+        if consistency:
+            raise SystemExit("--consistency is only supported for future_rand")
+        from repro.baselines import (
+            run_central_tree,
+            run_erlingsson,
+            run_naive_split,
+            run_offline_tree,
+        )
+
+        runner = {
+            "erlingsson": run_erlingsson,
+            "naive_split": run_naive_split,
+            "offline_tree": run_offline_tree,
+            "central_tree": run_central_tree,
+        }[protocol]
+        result = runner(states, params, protocol_rng)
+
+    radius = hoeffding_radius(params, result.c_gap, params.beta / params.d)
+    print(f"protocol:     {result.family_name}")
+    print(f"parameters:   n={n:,} d={d} k={k} epsilon={epsilon}")
+    print(f"max |error|:  {result.max_abs_error:,.1f}  ({result.max_abs_error / n:.2%} of n)")
+    print(f"mean |error|: {result.mean_abs_error:,.1f}")
+    print(f"Eq.13 radius: {radius:,.1f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment, args.scale, args.seed, args.json_dir)
+    if args.command == "cgap":
+        return _command_cgap(args.k, args.epsilon)
+    if args.command == "verify":
+        return _command_verify(args.k, args.epsilon)
+    if args.command == "communication":
+        return _command_communication(args.d)
+    if args.command == "simulate":
+        return _command_simulate(
+            args.protocol,
+            args.n,
+            args.d,
+            args.k,
+            args.epsilon,
+            args.seed,
+            args.consistency,
+        )
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The server-side algorithm ``A_svr`` (Algorithm 2).
+
+The server registers each user's announced order, accumulates the perturbed
+partial-sum reports into a dyadic tree, and at any time ``t`` outputs
+
+    ``a_hat[t] = sum_{I_{h,j} in C(t)}  (1 + log2 d) * c_gap^{-1} * sum_{u in U_h} w_u[j]``
+
+— an unbiased estimate of the number of users holding value 1 (Section 4.3).
+The scaling ``(1 + log2 d)`` inverts the order-sampling probability and
+``c_gap^{-1}`` inverts the randomizer's signal attenuation (Observation 4.3).
+
+The server is *online*: ``estimate(t)`` only uses reports whose emission time
+``j * 2^h`` is at most the latest time advanced to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.client import Report
+from repro.dyadic.intervals import DyadicInterval, decompose_prefix
+from repro.dyadic.tree import DyadicTree
+from repro.utils.validation import check_power_of_two
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Aggregator for Algorithm 2.
+
+    Parameters
+    ----------
+    d:
+        Time horizon (power of two).
+    c_gap:
+        The exact coordinate-preservation gap of the randomizer family the
+        clients use.  Must be positive.
+    """
+
+    def __init__(self, d: int, c_gap: float, *, reject_duplicates: bool = True) -> None:
+        self._d = check_power_of_two(d, "d")
+        if not c_gap > 0:
+            raise ValueError(f"c_gap must be positive, got {c_gap}")
+        self._c_gap = float(c_gap)
+        self._scale = self._d.bit_length() / self._c_gap  # (1 + log2 d) / c_gap
+        self._tree = DyadicTree(self._d)
+        self._orders: dict[int, int] = {}
+        self._time = 0
+        self._reports_received = 0
+        # A malicious or buggy client replaying (user, index) pairs would
+        # bias the aggregate; the server de-duplicates by default.
+        self._reject_duplicates = bool(reject_duplicates)
+        self._seen: set[tuple[int, int]] = set()
+
+    @property
+    def horizon(self) -> int:
+        """The time horizon ``d``."""
+        return self._d
+
+    @property
+    def time(self) -> int:
+        """The latest time period the server has advanced to."""
+        return self._time
+
+    @property
+    def reports_received(self) -> int:
+        """Total number of reports ingested."""
+        return self._reports_received
+
+    @property
+    def registered_users(self) -> int:
+        """Number of users that announced an order."""
+        return len(self._orders)
+
+    def register(self, user_id: int, order: int) -> None:
+        """Record a user's announced order ``h_u`` (Algorithm 2, line 1)."""
+        max_order = self._d.bit_length() - 1
+        if not 0 <= order <= max_order:
+            raise ValueError(f"order must be in [0, {max_order}], got {order}")
+        if user_id in self._orders and self._orders[user_id] != order:
+            raise ValueError(
+                f"user {user_id} already registered with order {self._orders[user_id]}"
+            )
+        self._orders[user_id] = int(order)
+
+    def advance_to(self, t: int) -> None:
+        """Advance the server clock; reports for later times are rejected."""
+        if not 1 <= t <= self._d:
+            raise ValueError(f"t must be in [1, {self._d}], got {t}")
+        if t < self._time:
+            raise ValueError(f"time cannot move backwards ({self._time} -> {t})")
+        self._time = t
+
+    def receive(self, report: Report) -> None:
+        """Ingest one client report (the body of Algorithm 2's loop)."""
+        if report.user_id not in self._orders:
+            raise KeyError(f"user {report.user_id} never registered an order")
+        order = self._orders[report.user_id]
+        if report.order != order:
+            raise ValueError(
+                f"user {report.user_id} registered order {order} but reported "
+                f"order {report.order}"
+            )
+        if report.bit not in (-1, 1):
+            raise ValueError(f"report bit must be -1 or +1, got {report.bit}")
+        emission_time = report.index << order
+        if emission_time > self._d:
+            raise ValueError(f"report index {report.index} exceeds the horizon")
+        if self._time and emission_time > self._time:
+            raise ValueError(
+                f"report for time {emission_time} arrived while the clock is at "
+                f"{self._time}; advance_to({emission_time}) first"
+            )
+        if self._reject_duplicates:
+            key = (report.user_id, report.index)
+            if key in self._seen:
+                raise ValueError(
+                    f"duplicate report from user {report.user_id} for index "
+                    f"{report.index}; replayed reports would bias the aggregate"
+                )
+            self._seen.add(key)
+        self._tree.add(DyadicInterval(order, report.index), float(report.bit))
+        self._reports_received += 1
+
+    def receive_all(self, reports: Iterable[Report]) -> None:
+        """Ingest many reports (advancing the clock to each emission time)."""
+        for report in reports:
+            emission_time = report.index << self._orders.get(report.user_id, 0)
+            if emission_time > self._time:
+                self.advance_to(emission_time)
+            self.receive(report)
+
+    def partial_sum_estimate(self, interval: DyadicInterval) -> float:
+        """Return ``S_hat(I_{h,j})`` (Algorithm 2, line 5)."""
+        return self._scale * self._tree[interval]
+
+    def estimate(self, t: int) -> float:
+        """Return ``a_hat[t]`` (Algorithm 2, line 6) from reports seen so far."""
+        if not 1 <= t <= self._d:
+            raise ValueError(f"t must be in [1, {self._d}], got {t}")
+        raw = sum(self._tree[interval] for interval in decompose_prefix(t))
+        return self._scale * raw
+
+    def estimate_range_change(self, left: int, right: int) -> float:
+        """Estimate the net change ``a[right] - a[left - 1]`` over ``[left..right]``.
+
+        Uses the general dyadic decomposition of Section 3; an extension beyond
+        Algorithm 2 enabled by the same reports.
+        """
+        return self._scale * self._tree.range_sum(left, right)
+
+    def all_estimates(self) -> np.ndarray:
+        """Return ``[a_hat[1], ..., a_hat[d]]`` (requires the horizon elapsed)."""
+        return np.array([self.estimate(t) for t in range(1, self._d + 1)])

@@ -1,0 +1,130 @@
+"""The naive independent randomizer of Example 4.2.
+
+Each non-zero coordinate is perturbed by an *independent* basic randomizer
+with budget ``epsilon / k`` (splitting the budget evenly across the at most
+``k`` non-zero coordinates); zero coordinates are answered uniformly.  It
+satisfies Properties I–III with
+
+    ``c_gap = (e^(eps/k) - 1) / (e^(eps/k) + 1)  in  Omega(epsilon / k)``,
+
+a factor ``sqrt(k)`` worse than FutureRand asymptotically.  The library keeps
+it both as the paper's motivating strawman and because — constants being
+constants — it is actually *stronger* than FutureRand for small ``k`` (see
+EXPERIMENTS.md, experiment E6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.basic_randomizer import basic_c_gap
+from repro.core.interfaces import RandomizerFamily, SequenceRandomizer
+from repro.utils.rng import as_generator
+from repro.utils.validation import ensure_positive
+
+__all__ = ["SimpleRandomizer", "SimpleRandomizerFamily"]
+
+
+class SimpleRandomizer(SequenceRandomizer):
+    """Per-user independent randomized response with budget ``epsilon/k``."""
+
+    def __init__(
+        self,
+        length: int,
+        k: int,
+        epsilon: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._length = ensure_positive(length, "length")
+        self._k = ensure_positive(k, "k")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self._epsilon = float(epsilon)
+        self._per_coordinate = self._epsilon / self._k
+        self._flip_probability = 1.0 / (math.exp(self._per_coordinate) + 1.0)
+        self._rng = as_generator(rng)
+        self._nnz = 0
+        self._position = 0
+
+    @property
+    def length(self) -> int:
+        """``L``: the number of values this randomizer will be fed."""
+        return self._length
+
+    @property
+    def sparsity(self) -> int:
+        """``k``: the maximum number of non-zero inputs supported."""
+        return self._k
+
+    @property
+    def c_gap(self) -> float:
+        """``(e^(eps/k) - 1)/(e^(eps/k) + 1)`` exactly (Example 4.2)."""
+        return basic_c_gap(self._per_coordinate)
+
+    def randomize(self, value: int) -> int:
+        """Perturb the next value: independent RR for non-zeros, uniform for zeros."""
+        if value not in (-1, 0, 1):
+            raise ValueError(f"value must be in {{-1, 0, 1}}, got {value}")
+        if self._position >= self._length:
+            raise RuntimeError(
+                f"randomizer already consumed all L={self._length} inputs"
+            )
+        self._position += 1
+        if value == 0:
+            return -1 if self._rng.random() < 0.5 else 1
+        if self._nnz >= self._k:
+            raise RuntimeError(
+                f"input has more than k={self._k} non-zero values; the privacy "
+                "calibration assumed k-sparsity"
+            )
+        self._nnz += 1
+        if self._rng.random() < self._flip_probability:
+            return -value
+        return value
+
+
+class SimpleRandomizerFamily(RandomizerFamily):
+    """Factory for :class:`SimpleRandomizer`; the Example 4.2 baseline."""
+
+    name = "simple_rr"
+
+    def __init__(self, k: int, epsilon: float) -> None:
+        super().__init__(k, epsilon)
+        self._per_coordinate = self._epsilon / self._k
+        self._flip_probability = 1.0 / (math.exp(self._per_coordinate) + 1.0)
+
+    @property
+    def c_gap(self) -> float:
+        """``(e^(eps/k) - 1)/(e^(eps/k) + 1)``."""
+        return basic_c_gap(self._per_coordinate)
+
+    def spawn(
+        self, length: int, rng: Optional[np.random.Generator] = None
+    ) -> SimpleRandomizer:
+        """Create one user's independent randomizer."""
+        return SimpleRandomizer(length, self._k, self._epsilon, rng)
+
+    def randomize_matrix(
+        self,
+        values: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Vectorized independent randomized response over a {-1,0,1} matrix."""
+        matrix = np.asarray(values)
+        if matrix.ndim != 2:
+            raise ValueError(f"values must be 2-D (users, L), got shape {matrix.shape}")
+        if not np.isin(matrix, (-1, 0, 1)).all():
+            raise ValueError("values entries must all be in {-1, 0, 1}")
+        support = np.count_nonzero(matrix, axis=1)
+        if (support > self._k).any():
+            raise ValueError(
+                f"a row has {int(support.max())} non-zero values, exceeding k={self._k}"
+            )
+        rng = as_generator(rng)
+        flips = rng.random(matrix.shape) < self._flip_probability
+        perturbed = np.where(flips, -matrix, matrix)
+        noise = rng.choice(np.array([-1, 1], dtype=np.int8), size=matrix.shape)
+        return np.where(matrix == 0, noise, perturbed).astype(np.int8)

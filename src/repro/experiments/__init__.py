@@ -1,0 +1,11 @@
+"""Experiment registry: every figure/claim of the paper as runnable code.
+
+Each experiment module exposes ``run(scale="small"|"full", seed=0)`` returning
+a :class:`~repro.sim.results.ResultTable`.  ``"small"`` completes in seconds
+(used by the benchmark suite); ``"full"`` is the EXPERIMENTS.md configuration.
+See DESIGN.md Section 3 for the experiment index E1–E10.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentSpec", "get_experiment"]

@@ -1,0 +1,48 @@
+"""E2 — Theorem 4.1: the ℓ∞ error scales like sqrt(k).
+
+Sweeps the change budget ``k`` with everything else fixed, runs the FutureRand
+protocol on bounded-change populations, and fits a power law to the measured
+``max_t |a_hat[t] - a[t]|``.  Theorem 4.1 predicts exponent ``0.5``; the
+Erlingsson bound would predict ``1.0``.  (Exact finite-``k`` constants push the
+measured exponent slightly below 0.5 — the exact ``c_gap`` series gives
+~0.46 over k in [2, 128] — so the acceptance band is [0.3, 0.7].)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.accuracy import fit_power_law
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import run_batch
+from repro.sim.runner import sweep
+from repro.sim.results import ResultTable
+
+_SCALES = {
+    "small": {"n": 4000, "d": 64, "eps": 1.0, "ks": [2, 8, 32], "trials": 3},
+    "full": {"n": 20000, "d": 256, "eps": 1.0, "ks": [2, 4, 8, 16, 32, 64, 128], "trials": 5},
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ResultTable:
+    """Sweep k, measure error, report the fitted scaling exponent."""
+    config = _SCALES[scale]
+    params = ProtocolParams(
+        n=config["n"], d=config["d"], k=max(config["ks"]), epsilon=config["eps"]
+    )
+    table = sweep(
+        {"future_rand": run_batch},
+        params,
+        "k",
+        config["ks"],
+        trials=config["trials"],
+        seed=seed,
+        title="E2: max error vs k (Theorem 4.1 predicts sqrt(k))",
+    )
+    ks = table.column("k")
+    errors = table.column("mean_max_abs")
+    exponent, _ = fit_power_law(ks, errors)
+    table.notes = (
+        f"fitted exponent alpha = {exponent:.3f} "
+        "(Theorem 4.1: 0.5; linear-in-k baselines: 1.0)"
+    )
+    table.add_row(k=float("nan"), protocol="fit", mean_max_abs=exponent)
+    return table

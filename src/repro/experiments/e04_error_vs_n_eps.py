@@ -1,0 +1,91 @@
+"""E4 — Theorem 4.1: error scales like sqrt(n) and like 1/epsilon.
+
+Two sweeps with FutureRand: population size ``n`` (expected exponent 0.5) and
+privacy budget ``epsilon`` (expected exponent -1; for ``epsilon <= 1`` the gap
+``c_gap`` is essentially linear in ``epsilon``, so ``1/c_gap ~ 1/epsilon``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.accuracy import fit_power_law
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import run_batch
+from repro.sim.runner import sweep
+from repro.sim.results import ResultTable
+
+_SCALES = {
+    "small": {
+        "d": 64,
+        "k": 4,
+        "ns": [1000, 4000, 16000],
+        "epss": [0.25, 0.5, 1.0],
+        "base_n": 4000,
+        "trials": 3,
+    },
+    "full": {
+        "d": 256,
+        "k": 4,
+        "ns": [2000, 8000, 32000, 128000],
+        "epss": [0.125, 0.25, 0.5, 1.0],
+        "base_n": 20000,
+        "trials": 5,
+    },
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ResultTable:
+    """Sweep n and epsilon; report both fitted exponents in one table."""
+    config = _SCALES[scale]
+    params = ProtocolParams(
+        n=config["base_n"], d=config["d"], k=config["k"], epsilon=1.0
+    )
+
+    n_table = sweep(
+        {"future_rand": run_batch},
+        params,
+        "n",
+        config["ns"],
+        trials=config["trials"],
+        seed=seed,
+        title="E4a: max error vs n",
+    )
+    n_exponent, _ = fit_power_law(n_table.column("n"), n_table.column("mean_max_abs"))
+
+    eps_table = sweep(
+        {"future_rand": run_batch},
+        params,
+        "epsilon",
+        config["epss"],
+        trials=config["trials"],
+        seed=seed + 1,
+        title="E4b: max error vs epsilon",
+    )
+    eps_exponent, _ = fit_power_law(
+        eps_table.column("epsilon"), eps_table.column("mean_max_abs")
+    )
+
+    table = ResultTable(
+        title="E4: error scaling in n and epsilon (Theorem 4.1: sqrt(n), 1/eps)",
+        columns=["sweep", "value", "mean_max_abs", "std_max_abs"],
+        notes=(
+            f"fitted exponents: n -> {n_exponent:.3f} (expected 0.5), "
+            f"epsilon -> {eps_exponent:.3f} (expected -1.0)"
+        ),
+    )
+    for row in n_table.rows:
+        table.add_row(
+            sweep="n",
+            value=row["n"],
+            mean_max_abs=row["mean_max_abs"],
+            std_max_abs=row["std_max_abs"],
+        )
+    for row in eps_table.rows:
+        table.add_row(
+            sweep="epsilon",
+            value=row["epsilon"],
+            mean_max_abs=row["mean_max_abs"],
+            std_max_abs=row["std_max_abs"],
+        )
+    table.add_row(sweep="fit_n_exponent", value=n_exponent)
+    table.add_row(sweep="fit_eps_exponent", value=eps_exponent)
+    return table

@@ -1,0 +1,71 @@
+"""E7 — Lemma 5.2 / Theorem 4.5: exact epsilon-LDP verification.
+
+Differential privacy cannot be checked by sampling, so this experiment
+evaluates the *exact* worst-case output-probability ratios:
+
+* of the composed randomizer ``R~`` (Lemma 5.2's ``p'_max / p'_min``), and
+* of the **entire client report** over any k-sparse input (Theorem 4.5),
+  using the closed form of :func:`repro.analysis.privacy.client_report_log_ratio`
+  (valid for every report length ``L``).
+
+Both log-ratios must be at most ``epsilon``.  The table also reports how much
+budget the discretized annulus actually *spends* — the paper's calibration is
+conservative (the true ratio sits well below ``e^eps``), which is interesting
+in its own right: a sharper calibration could buy back constant-factor utility.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.privacy import client_report_log_ratio
+from repro.core.annulus import AnnulusLaw
+from repro.sim.results import ResultTable
+
+_SCALES = {
+    "small": {"ks": [1, 2, 4, 8], "epss": [1.0]},
+    "full": {"ks": [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64], "epss": [0.25, 0.5, 1.0]},
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ResultTable:
+    """Tabulate exact privacy ratios; raise if any budget is exceeded."""
+    del seed  # exact computation, no randomness
+    config = _SCALES[scale]
+    table = ResultTable(
+        title="E7: exact privacy ratios (Lemma 5.2 / Theorem 4.5: <= epsilon)",
+        columns=[
+            "epsilon",
+            "k",
+            "composed_log_ratio",
+            "client_log_ratio",
+            "budget_spent_fraction",
+            "holds",
+        ],
+    )
+    for epsilon in config["epss"]:
+        for k in config["ks"]:
+            law = AnnulusLaw.for_future_rand(k, epsilon)
+            composed = law.privacy_log_ratio()
+            client = client_report_log_ratio(law)
+            holds = client <= epsilon + 1e-9 and composed <= epsilon + 1e-9
+            if not holds:
+                raise AssertionError(
+                    f"privacy violated at k={k}, eps={epsilon}: "
+                    f"composed={composed:.6f}, client={client:.6f}"
+                )
+            table.add_row(
+                epsilon=epsilon,
+                k=k,
+                composed_log_ratio=composed,
+                client_log_ratio=client,
+                budget_spent_fraction=client / epsilon,
+                holds="yes",
+            )
+    table.notes = (
+        "All ratios hold with slack: the 5*sqrt(k) calibration of Lemma 5.2 is "
+        "conservative, typically spending ~"
+        + f"{max(row['budget_spent_fraction'] for row in table.rows):.0%}"
+        + " of the budget at worst in this sweep."
+    )
+    return table

@@ -1,0 +1,72 @@
+"""E10 — the protocol landscape across the horizon d.
+
+One table positions every implemented protocol on the same populations as the
+horizon grows (Section 1's motivation + Section 6's related-work map):
+
+* naive split RR — error linear in ``d`` (why repetition fails);
+* naive unsplit RR — accurate but **not** epsilon-LDP (privacy cost d*eps);
+* Erlingsson et al. — polylog in ``d``, linear in ``k``;
+* FutureRand (ours) — polylog in ``d``, sqrt in ``k``;
+* offline full tree — the offline comparator (no order sampling, bigger
+  randomizer sparsity);
+* central tree — the trusted-curator reference, error independent of ``n``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.central import run_central_tree
+from repro.baselines.erlingsson import run_erlingsson
+from repro.baselines.naive import run_naive_split, run_naive_unsplit
+from repro.baselines.offline_tree import run_offline_tree
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import run_batch
+from repro.sim.runner import sweep
+from repro.sim.results import ResultTable
+
+_SCALES = {
+    "small": {"n": 3000, "k": 4, "eps": 1.0, "ds": [16, 64], "trials": 2},
+    "full": {"n": 20000, "k": 8, "eps": 1.0, "ds": [16, 64, 256, 1024], "trials": 4},
+}
+
+_RUNNERS = {
+    "future_rand": run_batch,
+    "erlingsson2020": run_erlingsson,
+    "naive_split": run_naive_split,
+    "naive_unsplit(NOT eps-LDP)": run_naive_unsplit,
+    "offline_tree": run_offline_tree,
+    "central_tree": run_central_tree,
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ResultTable:
+    """Sweep d across all protocols; pivot into one row per horizon."""
+    config = _SCALES[scale]
+    params = ProtocolParams(
+        n=config["n"], d=max(config["ds"]), k=config["k"], epsilon=config["eps"]
+    )
+    raw = sweep(
+        _RUNNERS,
+        params,
+        "d",
+        config["ds"],
+        trials=config["trials"],
+        seed=seed,
+        title="E10 raw",
+    )
+    by_d: dict[float, dict[str, float]] = {}
+    for row in raw.rows:
+        by_d.setdefault(row["d"], {})[row["protocol"]] = row["mean_max_abs"]
+
+    table = ResultTable(
+        title="E10: protocol landscape — mean max error vs horizon d",
+        columns=["d", *list(_RUNNERS)],
+        notes=(
+            "Expected shape: naive_split grows ~linearly in d; future_rand and "
+            "erlingsson grow polylogarithmically; central_tree is smallest "
+            "(no sqrt(n) factor); naive_unsplit is accurate but spends d*eps "
+            "privacy budget."
+        ),
+    )
+    for d in sorted(by_d):
+        table.add_row(d=d, **by_d[d])
+    return table

@@ -1,0 +1,66 @@
+"""E11 — ablation: hierarchical consistency post-processing (beyond the paper).
+
+The paper's server (Algorithm 2) reads each prefix directly off the raw noisy
+tree.  The tree is redundant — parents should equal their children's sums —
+and projecting onto the consistent subspace by weighted least squares
+(:mod:`repro.postprocess.consistency`) is free post-processing.  This ablation
+measures the realized max-error reduction across horizons; at d=256 it is
+roughly a factor of two, and it grows with log d (the projection effectively
+averages the ``1 + log2 d`` redundant views of every prefix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import collect_tree_reports
+from repro.postprocess.consistency import consistent_result
+from repro.sim.results import ResultTable
+from repro.utils.rng import spawn_generators
+from repro.workloads.generators import BoundedChangePopulation
+
+_SCALES = {
+    "small": {"n": 5000, "k": 4, "eps": 1.0, "ds": [16, 64, 256], "trials": 4},
+    "full": {"n": 20000, "k": 4, "eps": 1.0, "ds": [16, 64, 256, 1024], "trials": 8},
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ResultTable:
+    """Compare raw vs consistency-adjusted max error across horizons."""
+    config = _SCALES[scale]
+    table = ResultTable(
+        title="E11 (ablation): raw tree vs WLS-consistent tree",
+        columns=["d", "raw_max_abs", "consistent_max_abs", "improvement"],
+    )
+    root = np.random.SeedSequence(seed)
+    for d_index, d in enumerate(config["ds"]):
+        params = ProtocolParams(
+            n=config["n"], d=d, k=config["k"], epsilon=config["eps"]
+        )
+        workload_rng, *trial_rngs = spawn_generators(
+            np.random.SeedSequence((seed, d_index)), config["trials"] + 1
+        )
+        states = BoundedChangePopulation(d, params.k, exact_k=True).sample(
+            params.n, workload_rng
+        )
+        raw_errors = []
+        consistent_errors = []
+        for rng in trial_rngs:
+            reports = collect_tree_reports(states, params, rng)
+            raw_errors.append(reports.to_result().max_abs_error)
+            consistent_errors.append(consistent_result(reports).max_abs_error)
+        raw_mean = float(np.mean(raw_errors))
+        consistent_mean = float(np.mean(consistent_errors))
+        table.add_row(
+            d=d,
+            raw_max_abs=raw_mean,
+            consistent_max_abs=consistent_mean,
+            improvement=raw_mean / consistent_mean,
+        )
+    table.notes = (
+        "Consistency is free post-processing (no privacy cost); the "
+        "improvement factor grows with log d as the projection reconciles "
+        "the tree's redundant views."
+    )
+    return table

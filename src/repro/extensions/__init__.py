@@ -1,0 +1,31 @@
+"""Richer-domain adaptations (Section 1: "our algorithm can be adapted to
+solve frequency estimation and heavy hitter problems in richer domains via
+existing techniques").
+
+* :mod:`repro.extensions.categorical` — longitudinal frequency estimation
+  over an item domain ``[m]`` via one-hot reduction with coordinate sampling
+  (the standard frequency-oracle bridge of [1, 2, 9]).
+* :mod:`repro.extensions.heavy_hitters` — per-period top-``r`` item recovery
+  on top of the categorical tracker.
+* :mod:`repro.extensions.range_queries` — interval-change and sliding-window
+  queries answered from the same reports via general dyadic decomposition.
+"""
+
+from repro.extensions.categorical import CategoricalLongitudinalProtocol
+from repro.extensions.hashed_frequency import HashedFrequencyProtocol
+from repro.extensions.heavy_hitters import HeavyHitterTracker, top_items
+from repro.extensions.sketch import MedianSketchProtocol
+from repro.extensions.range_queries import (
+    estimate_range_change,
+    window_change_series,
+)
+
+__all__ = [
+    "CategoricalLongitudinalProtocol",
+    "HashedFrequencyProtocol",
+    "MedianSketchProtocol",
+    "HeavyHitterTracker",
+    "top_items",
+    "estimate_range_change",
+    "window_change_series",
+]

@@ -1,0 +1,142 @@
+"""Longitudinal frequency estimation over an item domain ``[m]``.
+
+Reduction (the standard frequency-oracle bridge): each user holds one item
+from a domain of size ``m``, changing items at most ``k`` times.  The one-hot
+encoding of the item is an ``m``-dimensional Boolean vector in which an item
+change flips exactly two coordinates — any *fixed* coordinate flips at most
+once per item change, so each binary coordinate changes at most ``k + 1``
+times (the ``+1`` covers the initial ``st_u[0] = 0`` convention).  Each user
+samples **one** coordinate ``c`` uniformly and
+runs the Boolean longitudinal protocol on that coordinate alone (a single
+``epsilon``-LDP report stream); the server partitions users by sampled
+coordinate and rescales by ``m``.
+
+Accuracy: each item's count is estimated from ``~ n/m`` users scaled by ``m``,
+so per-item error is ``sqrt(m)`` times the Boolean protocol's error at
+population ``n`` — the usual domain-size price of coordinate sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.future_rand import FutureRandFamily
+from repro.core.interfaces import RandomizerFamily
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import group_partial_sums
+from repro.dyadic.intervals import decompose_prefix
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_power_of_two, ensure_positive
+
+__all__ = ["CategoricalLongitudinalProtocol"]
+
+
+class CategoricalLongitudinalProtocol:
+    """Tracks per-item counts of an item-valued population over time.
+
+    >>> protocol = CategoricalLongitudinalProtocol(m=4, d=8, k=2, epsilon=1.0)
+    >>> items = np.zeros((100, 8), dtype=np.int64)  # everyone holds item 0
+    >>> estimates = protocol.run(items, np.random.default_rng(0))
+    >>> estimates.shape
+    (8, 4)
+    """
+
+    def __init__(
+        self,
+        m: int,
+        d: int,
+        k: int,
+        epsilon: float,
+        *,
+        family: Optional[RandomizerFamily] = None,
+    ) -> None:
+        self._m = ensure_positive(m, "m")
+        self._d = check_power_of_two(d, "d")
+        self._k = ensure_positive(k, "k")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self._epsilon = float(epsilon)
+        # A fixed one-hot coordinate flips at most once per item change, plus
+        # possibly once at t=1 (the st_u[0] = 0 convention), so each binary
+        # coordinate changes at most k + 1 times.
+        self._binary_k = min(self._k + 1, self._d)
+        self._family = (
+            family
+            if family is not None
+            else FutureRandFamily(self._binary_k, self._epsilon)
+        )
+
+    @property
+    def domain_size(self) -> int:
+        """``m``: number of distinct items."""
+        return self._m
+
+    @property
+    def binary_change_bound(self) -> int:
+        """The per-coordinate change bound ``min(k + 1, d)`` used for calibration."""
+        return self._binary_k
+
+    def run(
+        self, items: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Execute the protocol; return a ``(d, m)`` matrix of count estimates.
+
+        ``items`` is an ``(n, d)`` integer matrix; entry ``(u, t-1)`` is the
+        item user ``u`` holds at period ``t`` (values in ``[0, m)``).
+        """
+        matrix = np.asarray(items)
+        if matrix.ndim != 2 or matrix.shape[1] != self._d:
+            raise ValueError(
+                f"items must be (n, {self._d}); got shape {matrix.shape}"
+            )
+        if matrix.min() < 0 or matrix.max() >= self._m:
+            raise ValueError(f"item values must lie in [0, {self._m})")
+        item_changes = np.count_nonzero(np.diff(matrix, axis=1), axis=1)
+        if (item_changes > self._k).any():
+            raise ValueError(
+                f"a user changes items {int(item_changes.max())} times, "
+                f"exceeding k={self._k}"
+            )
+        rng = as_generator(rng)
+        n = matrix.shape[0]
+        num_orders = self._d.bit_length()
+
+        # Coordinate sampling: each user tracks one one-hot coordinate.
+        coordinates = rng.integers(0, self._m, size=n)
+        binary_states = (matrix == coordinates[:, np.newaxis]).astype(np.int8)
+
+        # Order sampling + randomized partial sums, bucketed per coordinate.
+        orders = rng.integers(0, num_orders, size=n)
+        raw = [
+            np.zeros((self._m, self._d >> order), dtype=np.float64)
+            for order in range(num_orders)
+        ]
+        for order in range(num_orders):
+            members = np.flatnonzero(orders == order)
+            if members.size == 0:
+                continue
+            partials = group_partial_sums(binary_states[members], order)
+            reports = self._family.randomize_matrix(partials, rng)
+            member_coordinates = coordinates[members]
+            np.add.at(raw[order], member_coordinates, reports.astype(np.float64))
+
+        scale = self._m * num_orders / self._family.c_gap
+        estimates = np.empty((self._d, self._m), dtype=np.float64)
+        for t in range(1, self._d + 1):
+            totals = np.zeros(self._m, dtype=np.float64)
+            for interval in decompose_prefix(t):
+                totals += raw[interval.order][:, interval.index - 1]
+            estimates[t - 1] = scale * totals
+        return estimates
+
+    @staticmethod
+    def true_counts(items: np.ndarray, m: int) -> np.ndarray:
+        """Return the exact ``(d, m)`` per-item counts (evaluation only)."""
+        matrix = np.asarray(items)
+        d = matrix.shape[1]
+        counts = np.zeros((d, m), dtype=np.int64)
+        for t in range(d):
+            counts[t] = np.bincount(matrix[:, t], minlength=m)
+        return counts

@@ -1,0 +1,102 @@
+"""Per-period heavy-hitter recovery over the categorical tracker.
+
+Given the ``(d, m)`` count-estimate matrix of
+:class:`~repro.extensions.categorical.CategoricalLongitudinalProtocol`,
+report the top-``r`` items at each period, optionally filtered by a
+significance threshold derived from the protocol's noise scale (items whose
+estimate does not clear the threshold are likely noise and are suppressed —
+the usual heavy-hitter hygiene of [1, 2]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive
+
+__all__ = ["HeavyHitterTracker", "top_items", "precision_at_r"]
+
+
+def top_items(
+    estimates: np.ndarray, r: int, *, threshold: Optional[float] = None
+) -> list[list[int]]:
+    """Return the top-``r`` item ids per period, by estimated count.
+
+    ``estimates`` is a ``(d, m)`` matrix.  With a ``threshold``, items whose
+    estimate falls below it are dropped (the returned lists may be shorter
+    than ``r``).
+    """
+    matrix = np.asarray(estimates, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"estimates must be 2-D (d, m), got shape {matrix.shape}")
+    r = ensure_positive(r, "r")
+    result = []
+    for row in matrix:
+        ranked = np.argsort(-row, kind="stable")[:r]
+        if threshold is not None:
+            ranked = ranked[row[ranked] >= threshold]
+        result.append([int(item) for item in ranked])
+    return result
+
+
+def precision_at_r(
+    reported: list[list[int]], truth: np.ndarray, r: int
+) -> float:
+    """Return mean precision@r of reported item lists against true counts.
+
+    ``truth`` is the exact ``(d, m)`` count matrix; the true top-``r`` set per
+    period is compared against the reported list.
+    """
+    matrix = np.asarray(truth)
+    if len(reported) != matrix.shape[0]:
+        raise ValueError("reported length must equal the number of periods")
+    r = ensure_positive(r, "r")
+    scores = []
+    for period, items in enumerate(reported):
+        true_top = set(np.argsort(-matrix[period], kind="stable")[:r].tolist())
+        if not items:
+            scores.append(0.0)
+            continue
+        hits = sum(1 for item in items if item in true_top)
+        scores.append(hits / min(r, len(items)))
+    return float(np.mean(scores))
+
+
+@dataclass
+class HeavyHitterTracker:
+    """Stateful convenience wrapper: feed estimate rows, query current top-r.
+
+    >>> tracker = HeavyHitterTracker(r=2)
+    >>> tracker.update(np.array([5.0, 1.0, 9.0]))
+    >>> tracker.current_top
+    [2, 0]
+    """
+
+    r: int
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.r = ensure_positive(self.r, "r")
+        self._current: list[int] = []
+        self._history: list[list[int]] = []
+
+    def update(self, estimate_row: np.ndarray) -> None:
+        """Ingest one period's ``(m,)`` estimate vector."""
+        row = np.asarray(estimate_row, dtype=np.float64)
+        if row.ndim != 1:
+            raise ValueError(f"estimate_row must be 1-D, got shape {row.shape}")
+        self._current = top_items(row[np.newaxis, :], self.r, threshold=self.threshold)[0]
+        self._history.append(self._current)
+
+    @property
+    def current_top(self) -> list[int]:
+        """Top items after the latest update."""
+        return list(self._current)
+
+    @property
+    def history(self) -> list[list[int]]:
+        """Top items per period, in update order."""
+        return [list(row) for row in self._history]

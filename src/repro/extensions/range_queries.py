@@ -1,0 +1,60 @@
+"""Interval-change and sliding-window queries from the same protocol reports.
+
+Section 3 notes that a general interval ``[l..r]`` decomposes into at most
+``2 ceil(log2 (r - l + 1))`` dyadic intervals.  Since the server's tree holds
+an unbiased estimate for *every* dyadic interval, the same reports that power
+the prefix estimates also answer:
+
+* ``estimate_range_change(l, r)`` — the net population change over ``[l..r]``
+  (i.e. ``a[r] - a[l-1]``), and
+* ``window_change_series(w)`` — the trailing-``w``-period net change at every
+  period, a drift detector for monitoring dashboards.
+
+These are post-processing of already-released values, so they consume no
+additional privacy budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.server import Server
+from repro.utils.validation import ensure_positive
+
+__all__ = ["estimate_range_change", "window_change_series"]
+
+
+def estimate_range_change(server: Server, left: int, right: int) -> float:
+    """Return the estimated net change ``a[right] - a[left - 1]``.
+
+    Uses the general dyadic decomposition rather than differencing two prefix
+    estimates; for narrow windows this touches fewer noisy nodes (at most
+    ``2 log2 (right - left + 1) + 2`` instead of ``2 log2 d``), giving a
+    strictly smaller variance.
+    """
+    left = ensure_positive(left, "left")
+    right = ensure_positive(right, "right")
+    if left > right:
+        raise ValueError(f"need left <= right, got [{left}..{right}]")
+    if right > server.horizon:
+        raise ValueError(f"right={right} exceeds the horizon d={server.horizon}")
+    return server.estimate_range_change(left, right)
+
+
+def window_change_series(server: Server, window: int) -> np.ndarray:
+    """Return the trailing-window net change at every period.
+
+    Entry ``t-1`` holds the estimate of ``a[t] - a[t - window]`` (with the
+    convention ``a[s] = 0`` for ``s <= 0``).  Periods earlier than the window
+    fall back to the prefix estimate.
+    """
+    window = ensure_positive(window, "window")
+    d = server.horizon
+    series = np.empty(d, dtype=np.float64)
+    for t in range(1, d + 1):
+        left = t - window + 1
+        if left <= 1:
+            series[t - 1] = server.estimate(t)
+        else:
+            series[t - 1] = server.estimate_range_change(left, t)
+    return series

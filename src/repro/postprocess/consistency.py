@@ -1,0 +1,137 @@
+"""Weighted-least-squares consistency on the dyadic report tree.
+
+The server holds, for every dyadic interval, an unbiased but noisy estimate of
+the population partial sum.  These estimates are mutually redundant: a parent
+interval's sum should equal its children's.  Enforcing consistency by weighted
+least squares projects the noisy tree onto the consistent subspace, which (a)
+provably cannot increase any node's variance and (b) makes every prefix
+reconstruction equal to a cumulative sum of adjusted leaves.
+
+Algorithm (two passes over the complete binary tree, generalizing Hay et al.
+2010 to per-node variances):
+
+1. **Upward** — combine each node's own measurement with its children's
+   aggregated estimate by inverse-variance weighting, producing the best
+   subtree-local estimate ``z`` with variance ``v``.
+2. **Downward** — fix the root to ``z(root)``; distribute each parent's final
+   value to its children in proportion to their upward variances, so children
+   always sum exactly to the parent.
+
+Caveat (documented design decision): node estimates produced by FutureRand
+are *weakly correlated within a user* (the shared ``b~`` couples a user's
+reports across intervals).  The WLS weights treat nodes as independent; the
+projection stays unbiased regardless, and experiment E11 measures the realized
+error reduction rather than assuming the independent-case analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.protocol import ProtocolResult
+from repro.core.vectorized import BatchTreeReports
+
+__all__ = [
+    "wls_tree_consistency",
+    "consistent_prefix_estimates",
+    "consistent_result",
+]
+
+
+def _check_levels(
+    levels: Sequence[np.ndarray], variances: Sequence[np.ndarray]
+) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    if len(levels) != len(variances):
+        raise ValueError("levels and variances must have the same depth")
+    if not levels:
+        raise ValueError("levels must be non-empty")
+    values = [np.asarray(level, dtype=np.float64) for level in levels]
+    spreads = [np.asarray(variance, dtype=np.float64) for variance in variances]
+    width = values[0].size
+    for depth, (level, spread) in enumerate(zip(values, spreads)):
+        expected = width >> depth
+        if level.shape != (expected,) or spread.shape != (expected,):
+            raise ValueError(
+                f"level {depth} must have {expected} nodes, got "
+                f"{level.shape} / {spread.shape}"
+            )
+        if (spread < 0).any():
+            raise ValueError("variances must be non-negative")
+    if width >> (len(values) - 1) != 1:
+        raise ValueError(
+            "levels must form a complete binary tree ending in a single root"
+        )
+    return values, spreads
+
+
+def wls_tree_consistency(
+    levels: Sequence[np.ndarray], variances: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Return consistency-adjusted node values (same layout as ``levels``).
+
+    ``levels[h]`` holds the order-``h`` node estimates (``levels[0]`` the
+    leaves, last entry the root); ``variances[h]`` their variances.  A node
+    with zero variance is treated as exact.  In the output, every parent
+    equals the sum of its children.
+    """
+    values, spreads = _check_levels(levels, variances)
+    depth = len(values)
+
+    # Upward pass: z[h], v[h] — best estimates using each node's subtree.
+    z = [values[0].copy()]
+    v = [spreads[0].copy()]
+    for h in range(1, depth):
+        child_sum = z[h - 1][0::2] + z[h - 1][1::2]
+        child_var = v[h - 1][0::2] + v[h - 1][1::2]
+        own = values[h]
+        own_var = spreads[h]
+        total = child_var + own_var
+        # Inverse-variance weighting; guard the degenerate both-exact case.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            weight_own = np.where(total > 0, child_var / total, 0.5)
+        z.append(weight_own * own + (1.0 - weight_own) * child_sum)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            combined = np.where(total > 0, own_var * child_var / total, 0.0)
+        v.append(combined)
+
+    # Downward pass: distribute each parent's final value to its children
+    # proportionally to their upward variances.
+    final = [np.empty_like(level) for level in values]
+    final[depth - 1] = z[depth - 1].copy()
+    for h in range(depth - 1, 0, -1):
+        left = z[h - 1][0::2]
+        right = z[h - 1][1::2]
+        var_left = v[h - 1][0::2]
+        var_right = v[h - 1][1::2]
+        discrepancy = final[h] - (left + right)
+        pair_var = var_left + var_right
+        with np.errstate(invalid="ignore", divide="ignore"):
+            share_left = np.where(pair_var > 0, var_left / pair_var, 0.5)
+        final[h - 1][0::2] = left + discrepancy * share_left
+        final[h - 1][1::2] = right + discrepancy * (1.0 - share_left)
+    return final
+
+
+def consistent_prefix_estimates(reports: BatchTreeReports) -> np.ndarray:
+    """Return prefix estimates from the consistency-adjusted tree.
+
+    After the projection every parent equals its children's sum, so the
+    prefix reconstruction reduces to a cumulative sum of adjusted leaves.
+    """
+    adjusted = wls_tree_consistency(
+        reports.node_estimates(), reports.node_variances()
+    )
+    return np.cumsum(adjusted[0])
+
+
+def consistent_result(reports: BatchTreeReports) -> ProtocolResult:
+    """Package the consistency-adjusted estimates as a :class:`ProtocolResult`."""
+    return ProtocolResult(
+        estimates=consistent_prefix_estimates(reports),
+        true_counts=reports.true_counts,
+        c_gap=reports.c_gap,
+        family_name=f"{reports.family_name}+consistency",
+        orders=reports.orders,
+    )

@@ -1,0 +1,29 @@
+"""Simulation engine and experiment runner.
+
+* :mod:`repro.sim.results` — tabular result containers (rows, tables,
+  JSON/CSV/markdown serialization).
+* :mod:`repro.sim.runner` — repeated-trial execution, parameter sweeps and
+  scaling-exponent extraction on top of any protocol callable.
+* :mod:`repro.sim.engine` — an instrumented online event loop exposing
+  per-period callbacks (used by the examples for live monitoring).
+"""
+
+from repro.sim.engine import SimulationEngine, StepSnapshot
+from repro.sim.results import ResultTable, format_markdown_table
+from repro.sim.runner import (
+    ProtocolRunner,
+    TrialStatistics,
+    run_trials,
+    sweep,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "StepSnapshot",
+    "ResultTable",
+    "format_markdown_table",
+    "ProtocolRunner",
+    "TrialStatistics",
+    "run_trials",
+    "sweep",
+]

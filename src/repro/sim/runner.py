@@ -1,0 +1,161 @@
+"""Repeated-trial execution and parameter sweeps.
+
+A *protocol runner* is any callable ``(states, params, rng) -> ProtocolResult``
+— the FutureRand drivers and every baseline share this signature.  The runner
+utilities here layer reproducible repetition and sweeping on top:
+
+* :func:`run_trials` — independent repetitions with spawned seeds, returning
+  mean/std/extremes of each error metric;
+* :func:`sweep` — vary one parameter (``k``, ``d``, ``n``, ``epsilon``),
+  regenerate the workload per point, and tabulate the results — the engine
+  behind experiments E2–E5 and E10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.analysis.accuracy import summarize_errors
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolResult
+from repro.sim.results import ResultTable
+from repro.utils.rng import spawn_generators
+from repro.workloads.generators import BoundedChangePopulation
+
+__all__ = ["ProtocolRunner", "TrialStatistics", "run_trials", "sweep"]
+
+
+class ProtocolRunner(Protocol):
+    """Callable protocol shared by every driver and baseline."""
+
+    def __call__(
+        self,
+        states: np.ndarray,
+        params: ProtocolParams,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ProtocolResult: ...
+
+
+@dataclass(frozen=True)
+class TrialStatistics:
+    """Aggregated error metrics across independent repetitions."""
+
+    trials: int
+    mean_max_abs: float
+    std_max_abs: float
+    worst_max_abs: float
+    best_max_abs: float
+    mean_mae: float
+    mean_rmse: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for result tables."""
+        return {
+            "trials": self.trials,
+            "mean_max_abs": self.mean_max_abs,
+            "std_max_abs": self.std_max_abs,
+            "worst_max_abs": self.worst_max_abs,
+            "best_max_abs": self.best_max_abs,
+            "mean_mae": self.mean_mae,
+            "mean_rmse": self.mean_rmse,
+        }
+
+
+def run_trials(
+    runner: ProtocolRunner,
+    states: np.ndarray,
+    params: ProtocolParams,
+    *,
+    trials: int = 5,
+    seed: Optional[int] = None,
+) -> TrialStatistics:
+    """Run ``runner`` repeatedly on the same workload with independent seeds."""
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    generators = spawn_generators(np.random.SeedSequence(seed), trials)
+    max_errors = []
+    maes = []
+    rmses = []
+    for rng in generators:
+        result = runner(states, params, rng)
+        summary = summarize_errors(result.estimates, result.true_counts)
+        max_errors.append(summary.max_abs)
+        maes.append(summary.mean_abs)
+        rmses.append(summary.rmse)
+    max_array = np.array(max_errors)
+    return TrialStatistics(
+        trials=trials,
+        mean_max_abs=float(max_array.mean()),
+        std_max_abs=float(max_array.std(ddof=1)) if trials > 1 else 0.0,
+        worst_max_abs=float(max_array.max()),
+        best_max_abs=float(max_array.min()),
+        mean_mae=float(np.mean(maes)),
+        mean_rmse=float(np.mean(rmses)),
+    )
+
+
+def _default_workload(params: ProtocolParams, rng: np.random.Generator) -> np.ndarray:
+    population = BoundedChangePopulation(params.d, params.k, exact_k=True)
+    return population.sample(params.n, rng)
+
+
+def sweep(
+    runners: dict[str, ProtocolRunner],
+    base_params: ProtocolParams,
+    parameter: str,
+    values: Sequence[float],
+    *,
+    trials: int = 3,
+    seed: Optional[int] = None,
+    workload: Optional[
+        Callable[[ProtocolParams, np.random.Generator], np.ndarray]
+    ] = None,
+    title: Optional[str] = None,
+) -> ResultTable:
+    """Sweep one protocol parameter and tabulate every runner's error.
+
+    For each value the workload is regenerated (same seed stream, so runners
+    at the same sweep point see the same population) and each runner executes
+    ``trials`` independent repetitions.
+
+    >>> from repro.core.vectorized import run_batch
+    >>> params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
+    >>> table = sweep({"fr": run_batch}, params, "k", [1, 2], trials=1, seed=0)
+    >>> table.column("k")
+    [1.0, 2.0]
+    """
+    if parameter not in ("n", "d", "k", "epsilon"):
+        raise ValueError(f"cannot sweep {parameter!r}; pick one of n/d/k/epsilon")
+    if not values:
+        raise ValueError("values must be non-empty")
+    make_states = workload if workload is not None else _default_workload
+    table = ResultTable(
+        title=title or f"sweep over {parameter}",
+        columns=[parameter, "protocol", "mean_max_abs", "std_max_abs", "mean_mae"],
+    )
+    root = np.random.SeedSequence(seed)
+    workload_rngs = spawn_generators(root, len(values))
+    trial_seed_base = root.spawn(1)[0]
+    for position, value in enumerate(values):
+        cast = float(value) if parameter == "epsilon" else int(value)
+        params = base_params.with_updates(**{parameter: cast})
+        states = make_states(params, workload_rngs[position])
+        for name, runner in runners.items():
+            entropy = int(
+                np.random.default_rng(trial_seed_base).integers(0, 2**31)
+            ) + hash((name, position)) % (2**31)
+            statistics = run_trials(
+                runner, states, params, trials=trials, seed=entropy
+            )
+            table.add_row(
+                **{parameter: float(value)},
+                protocol=name,
+                mean_max_abs=statistics.mean_max_abs,
+                std_max_abs=statistics.std_max_abs,
+                mean_mae=statistics.mean_mae,
+            )
+    return table

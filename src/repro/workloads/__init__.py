@@ -1,0 +1,41 @@
+"""Synthetic longitudinal workloads (the paper's motivating scenarios).
+
+The paper evaluates no dataset (pure theory); its guarantees depend only on
+``(n, d, k, epsilon, beta)`` and where users' changes fall.  These generators
+produce Boolean populations with a controlled change budget, covering the
+introduction's motivating applications (frequently-visited URLs, telemetry):
+
+* :class:`BoundedChangePopulation` — i.i.d. users, change times uniform /
+  early-biased / late-biased / bursty; the workhorse for parameter sweeps.
+* :class:`TrendPopulation` — a global adoption curve (sigmoid/linear/spike)
+  modulating per-user flip probabilities; produces non-stationary counts.
+* :class:`PeriodicPopulation` — users toggling on a shared period with phase
+  jitter (e.g. weekday/weekend behaviour).
+* :mod:`repro.workloads.scenarios` — named, documented scenario presets
+  (URL tracking, telemetry fleet) used by the examples.
+* :mod:`repro.workloads.streams` — online iteration helpers feeding state
+  matrices to clients one period at a time.
+"""
+
+from repro.workloads.generators import (
+    BoundedChangePopulation,
+    PeriodicPopulation,
+    TrendPopulation,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    telemetry_fleet_scenario,
+    url_tracking_scenario,
+)
+from repro.workloads.streams import iterate_periods, population_counts
+
+__all__ = [
+    "BoundedChangePopulation",
+    "PeriodicPopulation",
+    "TrendPopulation",
+    "Scenario",
+    "telemetry_fleet_scenario",
+    "url_tracking_scenario",
+    "iterate_periods",
+    "population_counts",
+]

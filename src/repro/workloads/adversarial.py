@@ -1,0 +1,105 @@
+"""Adversarial populations: stress inputs for robustness testing.
+
+The protocol's guarantees are worst-case over populations; these generators
+construct the populations a tester would reach for:
+
+* :func:`synchronized_spike` — every user flips at the same instant (the
+  hardest single-period transient; all the signal lands in one leaf).
+* :func:`boundary_aligned` / :func:`boundary_misaligned` — all changes at
+  dyadic-boundary times versus just after them, probing whether accuracy
+  depends on alignment with the interval structure (it must not, beyond the
+  usual noise).
+* :func:`full_budget_oscillation` — every user spends its entire budget
+  toggling as fast as allowed within a window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_power_of_two, ensure_positive
+
+__all__ = [
+    "synchronized_spike",
+    "boundary_aligned",
+    "boundary_misaligned",
+    "full_budget_oscillation",
+]
+
+
+def synchronized_spike(n: int, d: int, flip_time: int) -> np.ndarray:
+    """All ``n`` users flip 0 -> 1 at exactly ``flip_time`` (1-based)."""
+    n = ensure_positive(n, "n")
+    d = check_power_of_two(d, "d")
+    flip_time = ensure_positive(flip_time, "flip_time")
+    if flip_time > d:
+        raise ValueError(f"flip_time must be at most d={d}, got {flip_time}")
+    states = np.zeros((n, d), dtype=np.int8)
+    states[:, flip_time - 1 :] = 1
+    return states
+
+
+def _changes_at_times(n: int, d: int, times: np.ndarray) -> np.ndarray:
+    states = np.zeros((n, d), dtype=np.int8)
+    value = 0
+    previous = 0
+    for t in sorted(int(t) for t in times):
+        states[:, previous : t - 1] = value
+        value = 1 - value
+        previous = t - 1
+    states[:, previous:] = value
+    return states
+
+
+def boundary_aligned(n: int, d: int, k: int) -> np.ndarray:
+    """All users toggle at the ``k`` largest dyadic boundaries ``d/2, d/4, ...``.
+
+    Every change coincides with the end of a large dyadic interval — the
+    friendliest possible alignment for the hierarchy.
+    """
+    n = ensure_positive(n, "n")
+    d = check_power_of_two(d, "d")
+    k = ensure_positive(k, "k")
+    boundaries = [d >> (index + 1) for index in range(min(k, d.bit_length() - 1))]
+    times = np.array([t for t in boundaries if t >= 1])
+    return _changes_at_times(n, d, times)
+
+
+def boundary_misaligned(n: int, d: int, k: int) -> np.ndarray:
+    """Like :func:`boundary_aligned` but every toggle lands one period *after*
+    a large boundary, maximally splitting changes across sibling intervals."""
+    n = ensure_positive(n, "n")
+    d = check_power_of_two(d, "d")
+    k = ensure_positive(k, "k")
+    boundaries = [(d >> (index + 1)) + 1 for index in range(min(k, d.bit_length() - 1))]
+    times = np.array(sorted({min(t, d) for t in boundaries}))
+    return _changes_at_times(n, d, times[: k])
+
+
+def full_budget_oscillation(
+    n: int,
+    d: int,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Every user toggles ``k`` times in consecutive periods from a random start.
+
+    The densest change pattern the sparsity promise permits; order-0 partial
+    sums become maximally non-zero inside the window.
+    """
+    n = ensure_positive(n, "n")
+    d = check_power_of_two(d, "d")
+    k = ensure_positive(k, "k")
+    if k > d:
+        raise ValueError(f"k={k} cannot exceed d={d}")
+    rng = as_generator(rng)
+    starts = rng.integers(1, d - k + 2, size=n)
+    columns = np.arange(1, d + 1)[np.newaxis, :]
+    in_window = (columns >= starts[:, np.newaxis]) & (
+        columns < starts[:, np.newaxis] + k
+    )
+    toggles = np.cumsum(in_window, axis=1)
+    return (toggles % 2).astype(np.int8)

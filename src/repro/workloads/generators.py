@@ -1,0 +1,264 @@
+"""Population generators with a hard per-user change budget.
+
+Every generator guarantees each user's Boolean sequence changes at most ``k``
+times over the ``d`` periods — the structural assumption of the longitudinal
+collection problem (Section 2).  Generators return ``(n, d)`` int8 matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_power_of_two, check_probability, ensure_positive
+
+__all__ = ["BoundedChangePopulation", "TrendPopulation", "PeriodicPopulation"]
+
+_CHANGE_TIME_MODES = ("uniform", "early", "late", "bursty")
+
+
+class BoundedChangePopulation:
+    """Users with i.i.d. change times under a hard ``k``-change budget.
+
+    Parameters
+    ----------
+    d:
+        Horizon (power of two).
+    k:
+        Maximum changes per user.
+    mode:
+        Where change times concentrate: ``"uniform"`` across the horizon,
+        ``"early"``/``"late"`` (triangular weighting), or ``"bursty"`` (all of
+        a user's changes fall inside one short random window — the hardest
+        case for per-period mechanisms, easy for sparsity-aware ones).
+    start_prob:
+        Probability a user starts with value 1 at time 1.  A user starting at
+        1 spends one unit of the change budget (``st_u[0] = 0`` convention).
+    exact_k:
+        If true every user uses the full budget; otherwise each user's change
+        count is uniform on ``[0..k]``.
+    burst_width:
+        Window length for ``"bursty"`` mode (default ``max(k, d // 16)``).
+
+    >>> population = BoundedChangePopulation(d=16, k=3)
+    >>> states = population.sample(10, np.random.default_rng(0))
+    >>> states.shape
+    (10, 16)
+    """
+
+    def __init__(
+        self,
+        d: int,
+        k: int,
+        *,
+        mode: str = "uniform",
+        start_prob: float = 0.0,
+        exact_k: bool = False,
+        burst_width: Optional[int] = None,
+    ) -> None:
+        self._d = check_power_of_two(d, "d")
+        self._k = ensure_positive(k, "k")
+        if self._k > self._d:
+            raise ValueError(f"k={k} cannot exceed d={d}")
+        if mode not in _CHANGE_TIME_MODES:
+            raise ValueError(f"mode must be one of {_CHANGE_TIME_MODES}, got {mode!r}")
+        self._mode = mode
+        if start_prob != 0.0:
+            check_probability(start_prob, "start_prob")
+        self._start_prob = float(start_prob)
+        self._exact_k = bool(exact_k)
+        self._burst_width = (
+            int(burst_width) if burst_width is not None else max(self._k, self._d // 16)
+        )
+        if self._burst_width < self._k:
+            raise ValueError(
+                f"burst_width={self._burst_width} cannot hold k={self._k} changes"
+            )
+
+    @property
+    def d(self) -> int:
+        """Horizon."""
+        return self._d
+
+    @property
+    def k(self) -> int:
+        """Per-user change budget."""
+        return self._k
+
+    def _change_time_weights(self) -> np.ndarray:
+        positions = np.arange(1, self._d + 1, dtype=np.float64)
+        if self._mode == "early":
+            weights = (self._d + 1 - positions) ** 2
+        elif self._mode == "late":
+            weights = positions**2
+        else:  # uniform (bursty picks windows separately)
+            weights = np.ones(self._d)
+        return weights / weights.sum()
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return an ``(n, d)`` Boolean state matrix."""
+        n = ensure_positive(n, "n")
+        rng = as_generator(rng)
+
+        starts = rng.random(n) < self._start_prob
+        budgets = np.full(n, self._k, dtype=np.int64)
+        budgets[starts] -= 1  # starting at 1 consumes one change (at t=1)
+        if not self._exact_k:
+            budgets = rng.integers(0, budgets + 1)
+
+        if self._mode == "uniform":
+            return self._sample_uniform_vectorized(n, starts, budgets, rng)
+
+        deriv = np.zeros((n, self._d), dtype=np.int8)
+        weights = self._change_time_weights() if self._mode != "bursty" else None
+        for user in range(n):
+            count = int(budgets[user])
+            offset = 2 if starts[user] else 1  # first free change time
+            available = self._d - offset + 1
+            count = min(count, available)
+            if count > 0:
+                if self._mode == "bursty":
+                    highest_start = max(self._d - self._burst_width + 1, offset)
+                    window_start = int(rng.integers(offset, highest_start + 1))
+                    window_end = min(window_start + self._burst_width, self._d + 1)
+                    pool = np.arange(window_start, window_end)
+                    count = min(count, pool.size)
+                else:
+                    pool_weights = weights[offset - 1 :]
+                    pool_weights = pool_weights / pool_weights.sum()
+                    pool = rng.choice(
+                        np.arange(offset, self._d + 1),
+                        size=min(count, available),
+                        replace=False,
+                        p=pool_weights,
+                    )
+                times = np.sort(
+                    rng.choice(pool, size=count, replace=False)
+                    if self._mode == "bursty"
+                    else pool[:count]
+                )
+                current = 1 if starts[user] else 0
+                for t in times:
+                    deriv[user, t - 1] = 1 if current == 0 else -1
+                    current = 1 - current
+            if starts[user]:
+                deriv[user, 0] = 1
+
+        return np.cumsum(deriv, axis=1).astype(np.int8)
+
+    def _sample_uniform_vectorized(
+        self,
+        n: int,
+        starts: np.ndarray,
+        budgets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Loop-free sampler for the uniform mode (handles millions of users).
+
+        Each user toggles at ``budget`` uniformly chosen times; a user starting
+        at 1 additionally toggles at t=1.  States are the toggle-count parity.
+        """
+        scores = rng.random((n, self._d))
+        scores[starts, 0] = np.inf  # t=1 is reserved for the start toggle
+        ranks = scores.argsort(axis=1).argsort(axis=1)
+        toggles = ranks < budgets[:, np.newaxis]
+        toggles[starts, 0] = True
+        return (np.cumsum(toggles, axis=1) % 2).astype(np.int8)
+
+
+class TrendPopulation:
+    """A global adoption curve with per-user change budgets.
+
+    Each user independently follows the population trend ``curve(t)`` (the
+    probability of holding value 1 at time ``t``), flipping towards the trend
+    at randomly drawn opportunity times, but never more than ``k`` times.
+    Produces the non-stationary counts (ramps, spikes) that motivate
+    *continuous* monitoring in the paper's introduction.
+
+    ``curve`` options: ``"sigmoid"`` (adoption ramp), ``"linear"``,
+    ``"spike"`` (brief surge then decay).
+    """
+
+    def __init__(self, d: int, k: int, *, curve: str = "sigmoid") -> None:
+        self._d = check_power_of_two(d, "d")
+        self._k = ensure_positive(k, "k")
+        if curve not in ("sigmoid", "linear", "spike"):
+            raise ValueError(f"curve must be sigmoid/linear/spike, got {curve!r}")
+        self._curve = curve
+
+    def target_curve(self) -> np.ndarray:
+        """Return the population-level probability of value 1 per period."""
+        t = np.arange(1, self._d + 1, dtype=np.float64)
+        if self._curve == "sigmoid":
+            midpoint = self._d / 2.0
+            width = max(self._d / 10.0, 1.0)
+            return 1.0 / (1.0 + np.exp(-(t - midpoint) / width))
+        if self._curve == "linear":
+            return t / self._d
+        peak = self._d / 4.0
+        width = max(self._d / 16.0, 1.0)
+        return 0.8 * np.exp(-((t - peak) ** 2) / (2.0 * width**2))
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return an ``(n, d)`` matrix of users tracking the trend.
+
+        Opportunity times: each user re-evaluates at up to ``k`` random
+        periods and adopts the trend's current coin flip; between
+        opportunities the value is held (forward fill), so the change budget
+        is respected by construction.  Fully vectorized.
+        """
+        n = ensure_positive(n, "n")
+        rng = as_generator(rng)
+        curve = self.target_curve()
+
+        counts = rng.integers(1, self._k + 1, size=n)
+        ranks = rng.random((n, self._d)).argsort(axis=1).argsort(axis=1)
+        opportunity = ranks < counts[:, np.newaxis]
+        # Draw the trend coin at every cell; only opportunity cells matter.
+        draws = (rng.random((n, self._d)) < curve[np.newaxis, :]).astype(np.int8)
+        values = np.where(opportunity, draws, np.int8(0))
+        # Forward fill: each cell takes the value at its latest opportunity
+        # (column 0 acts as a virtual opportunity holding the initial 0).
+        columns = np.arange(self._d)[np.newaxis, :]
+        marked = np.where(opportunity, columns, 0)
+        latest = np.maximum.accumulate(marked, axis=1)
+        values[:, 0] = np.where(opportunity[:, 0], values[:, 0], 0)
+        rows = np.arange(n)[:, np.newaxis]
+        return values[rows, latest].astype(np.int8)
+
+
+class PeriodicPopulation:
+    """Users toggling with a shared period and random phases.
+
+    Models weekday/weekend-style behaviour.  The change budget caps how many
+    toggles survive: each user toggles every ``period`` steps starting from
+    its phase, truncated to the first ``k`` toggles.
+    """
+
+    def __init__(self, d: int, k: int, *, period: Optional[int] = None) -> None:
+        self._d = check_power_of_two(d, "d")
+        self._k = ensure_positive(k, "k")
+        self._period = int(period) if period is not None else max(self._d // 8, 1)
+        if self._period < 1:
+            raise ValueError(f"period must be positive, got {self._period}")
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return an ``(n, d)`` matrix of phase-jittered togglers."""
+        n = ensure_positive(n, "n")
+        rng = as_generator(rng)
+        states = np.zeros((n, self._d), dtype=np.int8)
+        phases = rng.integers(1, self._period + 1, size=n)
+        for user in range(n):
+            toggle_times = np.arange(phases[user], self._d + 1, self._period)
+            toggle_times = toggle_times[: self._k]
+            value = 0
+            cursor = 0
+            for t in toggle_times:
+                states[user, cursor : t - 1] = value
+                value = 1 - value
+                cursor = t - 1
+            states[user, cursor:] = value
+        return states

@@ -1,0 +1,86 @@
+"""Tests for the executable appendix (Appendix A.1 verification)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.appendix_checks import (
+    check_cgap_lower_bound,
+    check_entropy_bound,
+    check_eq19,
+    check_eq20,
+    check_eq28_block_mass,
+    check_eq36,
+    check_g_at_ub,
+    check_lemma52,
+    check_stirling,
+    check_ub_range,
+    verification_report,
+)
+from repro.core.annulus import AnnulusLaw
+
+GRID = [
+    (k, epsilon)
+    for k in (1, 2, 4, 8, 16, 64, 256, 1024)
+    for epsilon in (0.1, 0.5, 1.0)
+]
+
+
+class TestIndividualChecks:
+    @pytest.mark.parametrize("k,epsilon", GRID)
+    def test_eq36(self, k, epsilon):
+        for outcome in check_eq36(AnnulusLaw.for_future_rand(k, epsilon)):
+            assert outcome.holds, outcome
+
+    @pytest.mark.parametrize("k,epsilon", GRID)
+    def test_g_at_ub(self, k, epsilon):
+        assert check_g_at_ub(AnnulusLaw.for_future_rand(k, epsilon)).holds
+
+    @pytest.mark.parametrize("k,epsilon", GRID)
+    def test_ub_range(self, k, epsilon):
+        assert check_ub_range(AnnulusLaw.for_future_rand(k, epsilon)).holds
+
+    @pytest.mark.parametrize("k,epsilon", GRID)
+    def test_eq19_eq20(self, k, epsilon):
+        law = AnnulusLaw.for_future_rand(k, epsilon)
+        assert check_eq19(law).holds
+        assert check_eq20(law).holds
+
+    @pytest.mark.parametrize("k,epsilon", GRID)
+    def test_lemma52(self, k, epsilon):
+        law = AnnulusLaw.for_future_rand(k, epsilon)
+        assert check_lemma52(law, epsilon).holds
+
+    @pytest.mark.parametrize("k,epsilon", GRID)
+    def test_cgap_chain(self, k, epsilon):
+        law = AnnulusLaw.for_future_rand(k, epsilon)
+        assert check_cgap_lower_bound(law).holds
+        assert check_eq28_block_mass(law).holds
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 100, 10_000])
+    def test_stirling(self, n):
+        assert check_stirling(n).holds
+
+    def test_stirling_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_stirling(0)
+
+    def test_entropy_bound(self):
+        assert check_entropy_bound().holds
+
+
+class TestVerificationReport:
+    def test_report_structure(self):
+        table = verification_report(16, 1.0)
+        assert len(table.rows) == 11
+        assert all(row["holds"] == "yes" for row in table.rows)
+
+    def test_margins_non_negative_where_meaningful(self):
+        table = verification_report(64, 0.5)
+        for row in table.rows:
+            if row["check"] in ("eq36a", "eq36b", "lemma52", "cgap_lb", "eq28"):
+                assert row["margin"] >= -1e-9
+
+    @pytest.mark.parametrize("k,epsilon", [(1, 1.0), (37, 0.3), (512, 0.05)])
+    def test_report_runs_across_parameters(self, k, epsilon):
+        verification_report(k, epsilon)

@@ -1,0 +1,49 @@
+"""Tests for communication-cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.communication import (
+    communication_table,
+    expected_report_bits,
+    order_announcement_bits,
+)
+from repro.core.params import ProtocolParams
+
+
+@pytest.fixture
+def params() -> ProtocolParams:
+    return ProtocolParams(n=100, d=256, k=4, epsilon=1.0)
+
+
+class TestExpectedBits:
+    def test_naive_is_d(self, params):
+        assert expected_report_bits(params, "naive_rr_split") == 256.0
+
+    def test_offline_tree_is_2d_minus_1(self, params):
+        assert expected_report_bits(params, "offline_tree") == 511.0
+
+    def test_hierarchical_formula(self, params):
+        # sum_h d/2^h / (1+log d) + announcement
+        expected = sum(256 >> h for h in range(9)) / 9 + order_announcement_bits(params)
+        assert expected_report_bits(params, "future_rand") == pytest.approx(expected)
+
+    def test_hierarchical_well_below_naive(self, params):
+        assert expected_report_bits(params, "future_rand") < 0.3 * params.d
+
+    def test_unknown_protocol_rejected(self, params):
+        with pytest.raises(ValueError):
+            expected_report_bits(params, "carrier_pigeon")
+
+    def test_announcement_bits(self, params):
+        assert order_announcement_bits(params) == 4  # ceil(log2 9)
+
+
+class TestTable:
+    def test_rows_and_columns(self, params):
+        table = communication_table(params)
+        assert len(table.rows) == 5
+        assert "bits_per_period" in table.columns
+        per_period = {row["protocol"]: row["bits_per_period"] for row in table.rows}
+        assert per_period["future_rand"] < per_period["naive_rr_split"]

@@ -1,0 +1,71 @@
+"""Tests for the exact variance formula and the popcount microstructure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import (
+    exact_estimator_variance,
+    popcount_profile,
+    predicted_error_std,
+)
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import run_batch
+
+
+class TestFormula:
+    @pytest.fixture
+    def params(self) -> ProtocolParams:
+        return ProtocolParams(n=1000, d=64, k=2, epsilon=1.0)
+
+    def test_power_of_two_minimizes_variance(self, params):
+        variances = {
+            t: exact_estimator_variance(params, 0.05, t) for t in (32, 33, 63)
+        }
+        assert variances[32] < variances[33] < variances[63]
+
+    def test_popcount_scaling(self, params):
+        """Var(t) / popcount(t) is constant across t (mean term excluded)."""
+        base = exact_estimator_variance(params, 0.05, 1)  # popcount 1
+        for t in (3, 7, 15, 63):
+            popcount = bin(t).count("1")
+            assert exact_estimator_variance(params, 0.05, t) == pytest.approx(
+                base * popcount, rel=1e-12
+            )
+
+    def test_mean_term_subtracted(self, params):
+        with_mean = exact_estimator_variance(params, 0.05, 8, true_state_sum=100.0)
+        without = exact_estimator_variance(params, 0.05, 8)
+        assert without - with_mean == pytest.approx(100.0)
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            exact_estimator_variance(params, 0.05, 0)
+        with pytest.raises(ValueError):
+            exact_estimator_variance(params, 0.0, 1)
+
+    def test_popcount_profile(self):
+        profile = popcount_profile(8)
+        assert profile.tolist() == [1, 1, 2, 1, 2, 2, 3, 1]
+
+
+class TestEmpiricalAgreement:
+    def test_prediction_matches_measurement(self):
+        """The exact formula must match empirical per-t std within MC error."""
+        params = ProtocolParams(n=2000, d=16, k=2, epsilon=1.0)
+        states = np.zeros((params.n, params.d), dtype=np.int8)
+        states[: params.n // 3, 4:] = 1
+        trials = 60
+        errors = np.array(
+            [
+                run_batch(states, params, np.random.default_rng(t)).errors
+                for t in range(trials)
+            ]
+        )
+        result = run_batch(states, params, np.random.default_rng(999))
+        for t in (1, 3, 8, 15):
+            measured = errors[:, t - 1].std(ddof=1)
+            predicted = predicted_error_std(params, result.c_gap, t)
+            # 60 trials -> std estimate has ~10% relative error (5 sigma ~ 50%).
+            assert 0.6 < measured / predicted < 1.5

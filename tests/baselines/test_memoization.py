@@ -1,0 +1,75 @@
+"""Tests for the memoization baseline and its privacy leakage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.memoization import change_time_leakage, run_memoization
+from repro.baselines.naive import run_naive_split
+from repro.core.basic_randomizer import keep_probability
+
+
+class TestAccuracy:
+    def test_unbiased(self, small_params, small_states):
+        trials = 40
+        errors = [
+            run_memoization(
+                small_states, small_params, np.random.default_rng(600 + t)
+            ).errors[-1]
+            for t in range(trials)
+        ]
+        mean = float(np.mean(errors))
+        standard_error = float(np.std(errors, ddof=1) / np.sqrt(trials))
+        assert abs(mean) < 4 * standard_error + 1e-9
+
+    def test_much_more_accurate_than_split(self, small_params, small_states, rng):
+        memoized = run_memoization(small_states, small_params, rng)
+        split = run_naive_split(small_states, small_params, rng)
+        assert memoized.max_abs_error < split.max_abs_error / 2
+
+    def test_family_name_carries_warning(self, small_params, small_states, rng):
+        result = run_memoization(small_states, small_params, rng)
+        assert "NOT" in result.family_name
+
+    def test_replay_is_deterministic_per_value(self, small_params, rng):
+        """While a user's value is constant, their report never changes."""
+        states = np.zeros((small_params.n, small_params.d), dtype=np.int8)
+        states[:, small_params.d // 2 :] = 1  # one change per user
+        result = run_memoization(states, small_params, rng)
+        assert result.estimates.shape == (small_params.d,)
+
+    def test_validation(self, small_params, rng):
+        with pytest.raises(ValueError):
+            run_memoization(
+                np.zeros((3, small_params.d), dtype=np.int8), small_params, rng
+            )
+        with pytest.raises(ValueError):
+            run_memoization(
+                np.full((small_params.n, small_params.d), 2), small_params, rng
+            )
+
+
+class TestLeakage:
+    def test_change_times_leak_massively(self, rng):
+        """The privacy failure the paper warns about: most change times are
+        recovered exactly by a passive adversary."""
+        n, d = 2000, 32
+        states = np.zeros((n, d), dtype=np.int8)
+        states[:, 10:] = 1  # everyone changes at t=11
+        leakage = change_time_leakage(states, epsilon=1.0, rng=rng)
+        # A change is visible iff the two memoized answers differ.  The
+        # answer for value 1 is +1 w.p. keep; the answer for value 0 is -1
+        # w.p. keep; they differ when both are kept or both are flipped:
+        keep = keep_probability(1.0)
+        expected = keep**2 + (1 - keep) ** 2
+        assert leakage == pytest.approx(expected, abs=0.05)
+        assert leakage > 0.5  # far from private
+
+    def test_no_changes_no_leakage(self, rng):
+        states = np.zeros((50, 16), dtype=np.int8)
+        assert change_time_leakage(states, epsilon=1.0, rng=rng) == 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            change_time_leakage(np.zeros(5), epsilon=1.0, rng=rng)

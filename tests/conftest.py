@@ -1,0 +1,30 @@
+"""Shared fixtures: reproducible generators, small parameter bundles, workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.workloads.generators import BoundedChangePopulation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params() -> ProtocolParams:
+    """Tiny but non-trivial protocol parameters for fast end-to-end tests."""
+    return ProtocolParams(n=300, d=16, k=3, epsilon=1.0)
+
+
+@pytest.fixture
+def small_states(small_params: ProtocolParams) -> np.ndarray:
+    """A population matching ``small_params`` with the full change budget."""
+    population = BoundedChangePopulation(
+        small_params.d, small_params.k, exact_k=True
+    )
+    return population.sample(small_params.n, np.random.default_rng(777))

@@ -1,0 +1,215 @@
+"""Tests for Algorithm 1 (client) and Algorithm 2 (server)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.client import Client, Report
+from repro.core.future_rand import FutureRandFamily
+from repro.core.server import Server
+from repro.core.simple_randomizer import SimpleRandomizerFamily
+from repro.dyadic.intervals import DyadicInterval
+
+
+@pytest.fixture
+def family() -> FutureRandFamily:
+    return FutureRandFamily(k=2, epsilon=1.0)
+
+
+class TestClient:
+    def test_order_in_range(self, family):
+        for seed in range(30):
+            client = Client(0, d=16, family=family, rng=np.random.default_rng(seed))
+            assert 0 <= client.order <= 4
+
+    def test_order_distribution_uniform(self, family):
+        orders = [
+            Client(0, d=8, family=family, rng=np.random.default_rng(seed)).order
+            for seed in range(2000)
+        ]
+        counts = np.bincount(orders, minlength=4)
+        # 4 orders, each expected 500; 5-sigma band ~ 110
+        assert all(abs(count - 500) < 150 for count in counts)
+
+    def test_reports_exactly_at_multiples(self, family, rng):
+        client = Client(0, d=16, family=family, rng=rng)
+        period = 1 << client.order
+        states = [0] * 16
+        for t in range(1, 17):
+            report = client.step(states[t - 1])
+            if t % period == 0:
+                assert report is not None
+                assert report.index == t // period
+                assert report.order == client.order
+            else:
+                assert report is None
+
+    def test_report_count_is_length(self, family, rng):
+        client = Client(3, d=16, family=family, rng=rng)
+        reports = client.run(np.zeros(16, dtype=np.int8))
+        assert len(reports) == client.report_length
+        assert all(report.user_id == 3 for report in reports)
+
+    def test_rejects_bad_state(self, family, rng):
+        client = Client(0, d=4, family=family, rng=rng)
+        with pytest.raises(ValueError):
+            client.step(2)
+
+    def test_rejects_steps_beyond_horizon(self, family, rng):
+        client = Client(0, d=4, family=family, rng=rng)
+        for state in (0, 0, 1, 1):
+            client.step(state)
+        with pytest.raises(RuntimeError):
+            client.step(0)
+
+    def test_run_requires_full_sequence(self, family, rng):
+        client = Client(0, d=8, family=family, rng=rng)
+        with pytest.raises(ValueError):
+            client.run(np.zeros(4, dtype=np.int8))
+
+    def test_c_gap_exposed(self, family, rng):
+        client = Client(0, d=4, family=family, rng=rng)
+        assert client.c_gap == family.c_gap
+
+    def test_sparse_user_within_budget_works(self, family, rng):
+        """A user with k changes must never trip the randomizer's budget,
+        whatever order was sampled (Observation 3.6)."""
+        states = np.array([0, 1, 1, 1, 1, 0, 0, 0], dtype=np.int8)  # 2 changes
+        for seed in range(40):
+            client = Client(0, d=8, family=family, rng=np.random.default_rng(seed))
+            client.run(states)  # must not raise
+
+
+class TestServer:
+    def test_register_validates_order(self):
+        server = Server(8, c_gap=0.5)
+        with pytest.raises(ValueError):
+            server.register(0, 4)
+        server.register(0, 3)
+        assert server.registered_users == 1
+
+    def test_register_conflicting_order(self):
+        server = Server(8, c_gap=0.5)
+        server.register(0, 1)
+        with pytest.raises(ValueError):
+            server.register(0, 2)
+        server.register(0, 1)  # idempotent re-registration is fine
+
+    def test_receive_requires_registration(self):
+        server = Server(8, c_gap=0.5)
+        with pytest.raises(KeyError):
+            server.receive(Report(user_id=9, order=0, index=1, bit=1))
+
+    def test_receive_validates_order_and_bit(self):
+        server = Server(8, c_gap=0.5)
+        server.register(0, 1)
+        with pytest.raises(ValueError):
+            server.receive(Report(0, order=2, index=1, bit=1))
+        with pytest.raises(ValueError):
+            server.receive(Report(0, order=1, index=1, bit=0))
+
+    def test_online_clock_rejects_future_reports(self):
+        server = Server(8, c_gap=0.5)
+        server.register(0, 1)
+        server.advance_to(2)
+        server.receive(Report(0, order=1, index=1, bit=1))
+        with pytest.raises(ValueError):
+            server.receive(Report(0, order=1, index=2, bit=1))  # emitted at t=4
+
+    def test_clock_cannot_go_backwards(self):
+        server = Server(8, c_gap=0.5)
+        server.advance_to(5)
+        with pytest.raises(ValueError):
+            server.advance_to(3)
+
+    def test_estimate_scaling(self):
+        """Hand-checkable: d=4 (3 orders), c_gap=0.5 -> scale = 3/0.5 = 6."""
+        server = Server(4, c_gap=0.5)
+        server.register(0, 0)
+        server.advance_to(4)
+        for index in range(1, 5):
+            server.receive(Report(0, order=0, index=index, bit=1))
+        # a_hat[1] uses C(1) = {I_{0,1}} -> 6 * 1
+        assert server.estimate(1) == pytest.approx(6.0)
+        # a_hat[3] uses C(3) = {I_{1,1}, I_{0,3}}; I_{1,1} empty -> 6 * (0 + 1)
+        assert server.estimate(3) == pytest.approx(6.0)
+
+    def test_partial_sum_estimate(self):
+        server = Server(4, c_gap=0.5)
+        server.register(0, 1)
+        server.advance_to(2)
+        server.receive(Report(0, order=1, index=1, bit=-1))
+        assert server.partial_sum_estimate(DyadicInterval(1, 1)) == pytest.approx(-6.0)
+
+    def test_estimate_range_validation(self):
+        server = Server(4, c_gap=0.5)
+        with pytest.raises(ValueError):
+            server.estimate(0)
+        with pytest.raises(ValueError):
+            server.estimate(5)
+
+    def test_rejects_bad_c_gap(self):
+        with pytest.raises(ValueError):
+            Server(4, c_gap=0.0)
+
+    def test_receive_all_advances_clock(self, family):
+        server = Server(4, c_gap=0.5)
+        server.register(0, 1)
+        reports = [Report(0, 1, 1, 1), Report(0, 1, 2, -1)]
+        server.receive_all(reports)
+        assert server.time == 4
+        assert server.reports_received == 2
+
+    def test_duplicate_reports_rejected_by_default(self):
+        server = Server(4, c_gap=0.5)
+        server.register(0, 1)
+        server.advance_to(2)
+        server.receive(Report(0, order=1, index=1, bit=1))
+        with pytest.raises(ValueError):
+            server.receive(Report(0, order=1, index=1, bit=-1))
+
+    def test_duplicate_rejection_can_be_disabled(self):
+        server = Server(4, c_gap=0.5, reject_duplicates=False)
+        server.register(0, 1)
+        server.advance_to(2)
+        server.receive(Report(0, order=1, index=1, bit=1))
+        server.receive(Report(0, order=1, index=1, bit=1))
+        assert server.reports_received == 2
+
+    def test_distinct_indices_not_flagged_as_duplicates(self):
+        server = Server(4, c_gap=0.5)
+        server.register(0, 0)
+        server.register(1, 0)
+        server.advance_to(2)
+        server.receive(Report(0, order=0, index=1, bit=1))
+        server.receive(Report(1, order=0, index=1, bit=1))
+        server.receive(Report(0, order=0, index=2, bit=1))
+        assert server.reports_received == 3
+
+
+class TestClientServerLoop:
+    def test_estimator_unbiased_on_static_population(self):
+        """300 users all holding 1 from t=1: the mean estimate at t=d must be
+        near n (unbiasedness, Eq. 12), using the simple randomizer family for
+        speed."""
+        n, d = 300, 8
+        family = SimpleRandomizerFamily(k=1, epsilon=1.0)
+        states = np.ones((n, d), dtype=np.int8)
+        estimates = []
+        for trial in range(30):
+            rng = np.random.default_rng(1000 + trial)
+            server = Server(d, family.c_gap)
+            clients = [Client(u, d, family, rng) for u in range(n)]
+            for client in clients:
+                server.register(client.user_id, client.order)
+            for t in range(1, d + 1):
+                server.advance_to(t)
+                for client in clients:
+                    report = client.step(1)
+                    if report is not None:
+                        server.receive(report)
+            estimates.append(server.estimate(d))
+        mean = float(np.mean(estimates))
+        standard_error = float(np.std(estimates, ddof=1) / np.sqrt(len(estimates)))
+        assert abs(mean - n) < 4 * standard_error + 1e-9

@@ -1,0 +1,115 @@
+"""Tests for the Example 4.2 independent randomizer."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.simple_randomizer import SimpleRandomizer, SimpleRandomizerFamily
+
+
+class TestScalar:
+    def test_outputs_are_signs(self, rng):
+        randomizer = SimpleRandomizer(length=6, k=3, epsilon=1.0, rng=rng)
+        for value in (0, 1, -1):
+            assert randomizer.randomize(value) in (-1, 1)
+
+    def test_c_gap_formula(self):
+        randomizer = SimpleRandomizer(length=4, k=4, epsilon=1.0, rng=None)
+        expected = (math.exp(0.25) - 1) / (math.exp(0.25) + 1)
+        assert randomizer.c_gap == pytest.approx(expected, rel=1e-12)
+
+    def test_length_exhaustion(self, rng):
+        randomizer = SimpleRandomizer(length=1, k=1, epsilon=1.0, rng=rng)
+        randomizer.randomize(0)
+        with pytest.raises(RuntimeError):
+            randomizer.randomize(0)
+
+    def test_sparsity_violation(self, rng):
+        randomizer = SimpleRandomizer(length=5, k=1, epsilon=1.0, rng=rng)
+        randomizer.randomize(1)
+        with pytest.raises(RuntimeError):
+            randomizer.randomize(1)
+
+    def test_rejects_bad_value(self, rng):
+        randomizer = SimpleRandomizer(length=5, k=2, epsilon=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            randomizer.randomize(3)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            SimpleRandomizer(length=0, k=1, epsilon=1.0)
+        with pytest.raises(ValueError):
+            SimpleRandomizer(length=1, k=1, epsilon=0.0)
+
+    def test_empirical_gap(self):
+        trials = 40_000
+        rng = np.random.default_rng(3)
+        hits = 0
+        for _ in range(trials):
+            randomizer = SimpleRandomizer(length=1, k=2, epsilon=1.0, rng=rng)
+            hits += randomizer.randomize(1) == 1
+        gap = 2.0 * hits / trials - 1.0
+        expected = math.tanh(0.25)
+        assert abs(gap - expected) < 4 * (2.0 / math.sqrt(trials))
+
+
+class TestFamily:
+    def test_constants(self):
+        family = SimpleRandomizerFamily(k=4, epsilon=1.0)
+        assert family.name == "simple_rr"
+        assert family.c_gap == pytest.approx(math.tanh(0.125), rel=1e-12)
+
+    def test_spawn(self, rng):
+        family = SimpleRandomizerFamily(k=2, epsilon=0.5)
+        randomizer = family.spawn(8, rng)
+        assert randomizer.length == 8
+        assert randomizer.sparsity == 2
+
+    def test_matrix_path_shape(self, rng):
+        family = SimpleRandomizerFamily(k=2, epsilon=1.0)
+        values = np.zeros((10, 6), dtype=np.int8)
+        values[:, 0] = 1
+        output = family.randomize_matrix(values, rng)
+        assert output.shape == (10, 6)
+        assert set(np.unique(output).tolist()) <= {-1, 1}
+
+    def test_matrix_rejects_dense(self, rng):
+        family = SimpleRandomizerFamily(k=1, epsilon=1.0)
+        with pytest.raises(ValueError):
+            family.randomize_matrix(np.ones((2, 3), dtype=np.int8), rng)
+
+    def test_matrix_rejects_bad_values(self, rng):
+        family = SimpleRandomizerFamily(k=1, epsilon=1.0)
+        with pytest.raises(ValueError):
+            family.randomize_matrix(np.full((2, 3), -2), rng)
+
+    def test_matrix_gap(self):
+        family = SimpleRandomizerFamily(k=2, epsilon=1.0)
+        rows = 40_000
+        values = np.zeros((rows, 3), dtype=np.int8)
+        values[:, 1] = -1
+        output = family.randomize_matrix(values, np.random.default_rng(5))
+        gap = float((output[:, 1] == -1).mean() - (output[:, 1] == 1).mean())
+        assert abs(gap - family.c_gap) < 4 * (2.0 / math.sqrt(rows))
+
+    def test_matrix_zeros_uniform(self):
+        family = SimpleRandomizerFamily(k=2, epsilon=1.0)
+        rows = 40_000
+        values = np.zeros((rows, 2), dtype=np.int8)
+        output = family.randomize_matrix(values, np.random.default_rng(6))
+        rate = float((output == 1).mean())
+        assert abs(rate - 0.5) < 4 * (0.5 / math.sqrt(2 * rows))
+
+    def test_default_loop_matrix_matches_family_for_small_input(self, rng):
+        """The base-class fallback path must also produce sign matrices."""
+        from repro.core.interfaces import RandomizerFamily
+
+        family = SimpleRandomizerFamily(k=1, epsilon=1.0)
+        values = np.zeros((4, 3), dtype=np.int8)
+        values[:, 0] = 1
+        fallback = RandomizerFamily.randomize_matrix(family, values, rng)
+        assert fallback.shape == (4, 3)
+        assert set(np.unique(fallback).tolist()) <= {-1, 1}

@@ -1,0 +1,139 @@
+"""Tests for partial sums (Def. 3.4, Observations 3.6–3.9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dyadic.intervals import DyadicInterval, decompose_prefix, interval_set
+from repro.dyadic.partial_sums import (
+    all_partial_sums,
+    partial_sum,
+    partial_sums_of_order,
+    population_partial_sums,
+    reconstruct_prefix,
+)
+
+EXAMPLE = [0, 1, 1, 0]  # st_u with X_u = (0, 1, 0, -1)
+
+
+def power_of_two_states(max_log: int = 5):
+    """Strategy: Boolean sequences whose length is a power of two."""
+    return st.integers(min_value=0, max_value=max_log).flatmap(
+        lambda log: st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=1 << log,
+            max_size=1 << log,
+        )
+    )
+
+
+class TestPartialSum:
+    def test_example_35(self):
+        """Every value printed in Example 3.5."""
+        expected = {
+            DyadicInterval(0, 1): 0,
+            DyadicInterval(0, 2): 1,
+            DyadicInterval(0, 3): 0,
+            DyadicInterval(0, 4): -1,
+            DyadicInterval(1, 1): 1,
+            DyadicInterval(1, 2): -1,
+            DyadicInterval(2, 1): 0,
+        }
+        for interval, value in expected.items():
+            assert partial_sum(EXAMPLE, interval) == value
+
+    def test_out_of_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            partial_sum(EXAMPLE, DyadicInterval(3, 1))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            partial_sum([0, 1, 0], DyadicInterval(0, 1))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            partial_sum(np.zeros((2, 4), dtype=int), DyadicInterval(0, 1))
+
+    @given(power_of_two_states())
+    def test_observation_37_range(self, states):
+        """Observation 3.7: every partial sum is in {-1, 0, 1}."""
+        for interval in interval_set(len(states)):
+            assert partial_sum(states, interval) in (-1, 0, 1)
+
+
+class TestPartialSumsOfOrder:
+    def test_example(self):
+        assert partial_sums_of_order(EXAMPLE, 1).tolist() == [1, -1]
+        assert partial_sums_of_order(EXAMPLE, 2).tolist() == [0]
+
+    def test_order_zero_is_derivative(self):
+        assert partial_sums_of_order(EXAMPLE, 0).tolist() == [0, 1, 0, -1]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            partial_sums_of_order(EXAMPLE, 3)
+
+    @given(power_of_two_states())
+    def test_matches_scalar_api(self, states):
+        d = len(states)
+        for order in range(d.bit_length()):
+            vector = partial_sums_of_order(states, order)
+            for j, value in enumerate(vector, start=1):
+                assert value == partial_sum(states, DyadicInterval(order, j))
+
+    @given(power_of_two_states())
+    def test_observation_36_sparsity(self, states):
+        """Observation 3.6: at most k non-zero partial sums per order."""
+        deriv_nonzeros = int(
+            np.count_nonzero(np.diff(np.concatenate([[0], states])))
+        )
+        d = len(states)
+        for order in range(d.bit_length()):
+            vector = partial_sums_of_order(states, order)
+            assert int(np.count_nonzero(vector)) <= deriv_nonzeros
+
+
+class TestAllPartialSums:
+    def test_covers_interval_set(self):
+        sums = all_partial_sums(EXAMPLE)
+        assert set(sums) == set(interval_set(4))
+
+    @given(power_of_two_states())
+    def test_observation_39_reconstruction(self, states):
+        """Observation 3.9: prefixes reconstruct from C(t)."""
+        sums = all_partial_sums(states)
+        for t in range(1, len(states) + 1):
+            assert reconstruct_prefix(sums, t) == states[t - 1]
+
+
+class TestPopulationPartialSums:
+    def test_sums_over_users(self, rng):
+        states = rng.integers(0, 2, size=(20, 8)).astype(np.int8)
+        for order in range(4):
+            expected = np.array(
+                [partial_sums_of_order(row, order) for row in states]
+            ).sum(axis=0)
+            assert np.array_equal(
+                population_partial_sums(states, order), expected
+            )
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            population_partial_sums(np.array([0, 1]), 0)
+
+    def test_rejects_excessive_order(self):
+        with pytest.raises(ValueError):
+            population_partial_sums(np.zeros((2, 4), dtype=np.int8), 3)
+
+
+class TestReconstructPrefix:
+    def test_missing_interval_raises(self):
+        with pytest.raises(KeyError):
+            reconstruct_prefix({}, 3)
+
+    def test_noisy_values_pass_through(self):
+        sums = {interval: 0.5 for interval in interval_set(4)}
+        assert reconstruct_prefix(sums, 3) == pytest.approx(1.0)

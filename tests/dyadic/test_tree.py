@@ -1,0 +1,120 @@
+"""Tests for the dyadic aggregation tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dyadic.intervals import DyadicInterval, interval_set
+from repro.dyadic.partial_sums import all_partial_sums
+from repro.dyadic.tree import DyadicTree
+
+
+class TestBasics:
+    def test_set_get(self):
+        tree = DyadicTree(8)
+        tree[DyadicInterval(1, 3)] = 2.5
+        assert tree[DyadicInterval(1, 3)] == 2.5
+
+    def test_default_zero_and_filled_flag(self):
+        tree = DyadicTree(8)
+        interval = DyadicInterval(0, 5)
+        assert tree[interval] == 0.0
+        assert not tree.is_filled(interval)
+        tree[interval] = 0.0
+        assert tree.is_filled(interval)
+
+    def test_add_accumulates(self):
+        tree = DyadicTree(4)
+        interval = DyadicInterval(0, 2)
+        tree.add(interval, 1.0)
+        tree.add(interval, -3.0)
+        assert tree[interval] == -2.0
+
+    def test_horizon_and_orders(self):
+        tree = DyadicTree(16)
+        assert tree.horizon == 16
+        assert tree.num_orders == 5
+
+    def test_out_of_range_interval(self):
+        tree = DyadicTree(4)
+        with pytest.raises(KeyError):
+            tree[DyadicInterval(3, 1)]
+        with pytest.raises(KeyError):
+            tree[DyadicInterval(0, 5)]
+
+    def test_contains_on_bad_interval_is_false(self):
+        tree = DyadicTree(4)
+        assert DyadicInterval(5, 1) not in tree
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DyadicTree(12)
+
+    def test_intervals_enumeration(self):
+        tree = DyadicTree(8)
+        assert list(tree.intervals()) == interval_set(8)
+
+
+class TestPrefixAndRangeSums:
+    def _filled_tree(self, states):
+        tree = DyadicTree(len(states))
+        for interval, value in all_partial_sums(states).items():
+            tree[interval] = value
+        return tree
+
+    def test_prefix_sums_reconstruct_states(self):
+        states = [0, 1, 1, 0, 1, 1, 1, 0]
+        tree = self._filled_tree(states)
+        for t in range(1, 9):
+            assert tree.prefix_sum(t) == states[t - 1]
+
+    def test_all_prefix_sums(self):
+        states = [0, 1, 1, 0]
+        tree = self._filled_tree(states)
+        assert tree.all_prefix_sums().tolist() == [0.0, 1.0, 1.0, 0.0]
+
+    def test_range_sum_matches_state_difference(self):
+        states = [0, 1, 1, 0, 0, 1, 1, 1]
+        tree = self._filled_tree(states)
+        for left in range(1, 9):
+            for right in range(left, 9):
+                before = states[left - 2] if left > 1 else 0
+                assert tree.range_sum(left, right) == states[right - 1] - before
+
+    def test_require_filled_raises_on_empty(self):
+        tree = DyadicTree(4)
+        with pytest.raises(KeyError):
+            tree.prefix_sum(3, require_filled=True)
+
+    def test_require_filled_passes_when_filled(self):
+        tree = DyadicTree(4)
+        tree.fill_from(lambda interval: 1.0)
+        assert tree.prefix_sum(3, require_filled=True) == 2.0
+
+
+class TestFillFrom:
+    def test_fill_specific_orders(self):
+        tree = DyadicTree(8)
+        tree.fill_from(lambda interval: float(interval.index), orders=[1])
+        assert tree[DyadicInterval(1, 4)] == 4.0
+        assert not tree.is_filled(DyadicInterval(0, 1))
+
+    def test_fill_everything(self):
+        tree = DyadicTree(4)
+        tree.fill_from(lambda interval: 1.0)
+        assert all(tree.is_filled(interval) for interval in tree.intervals())
+
+
+class TestConsistencyResidual:
+    def test_exact_sums_are_consistent(self):
+        states = [0, 1, 0, 0, 1, 1, 0, 1]
+        tree = DyadicTree(8)
+        for interval, value in all_partial_sums(states).items():
+            tree[interval] = value
+        assert tree.consistency_residual() == 0.0
+
+    def test_noisy_tree_has_residual(self, rng):
+        tree = DyadicTree(8)
+        tree.fill_from(lambda interval: float(rng.normal()))
+        assert tree.consistency_residual() > 0.0

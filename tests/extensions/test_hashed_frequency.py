@@ -1,0 +1,106 @@
+"""Tests for the sign-hash frequency oracle extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions.categorical import CategoricalLongitudinalProtocol
+from repro.extensions.hashed_frequency import HashedFrequencyProtocol
+
+
+class TestInterface:
+    def test_estimates_shape(self, rng):
+        protocol = HashedFrequencyProtocol(m=10, d=8, k=2, epsilon=1.0)
+        items = np.zeros((60, 8), dtype=np.int64)
+        estimates = protocol.run(items, rng)
+        assert estimates.shape == (8, 10)
+
+    def test_binary_change_bound(self):
+        protocol = HashedFrequencyProtocol(m=10, d=8, k=3, epsilon=1.0)
+        assert protocol.binary_change_bound == 4  # k + 1
+        assert protocol.domain_size == 10
+
+    def test_validation(self, rng):
+        protocol = HashedFrequencyProtocol(m=5, d=8, k=1, epsilon=1.0)
+        with pytest.raises(ValueError):
+            protocol.run(np.full((5, 8), 5, dtype=np.int64), rng)
+        with pytest.raises(ValueError):
+            protocol.run(np.zeros((5, 4), dtype=np.int64), rng)
+        churner = np.zeros((5, 8), dtype=np.int64)
+        churner[0] = [0, 1, 0, 1, 0, 1, 0, 1]
+        with pytest.raises(ValueError):
+            protocol.run(churner, rng)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            HashedFrequencyProtocol(m=0, d=8, k=1, epsilon=1.0)
+        with pytest.raises(ValueError):
+            HashedFrequencyProtocol(m=4, d=8, k=1, epsilon=0.0)
+
+
+class TestStatistics:
+    def test_unbiased_on_static_population(self):
+        """Everyone holds item 3 forever: mean estimate of item 3 -> n."""
+        m, d, n = 8, 8, 400
+        protocol = HashedFrequencyProtocol(m=m, d=d, k=1, epsilon=1.0)
+        items = np.full((n, d), 3, dtype=np.int64)
+        finals = []
+        for trial in range(30):
+            estimates = protocol.run(items, np.random.default_rng(trial))
+            finals.append(estimates[-1, 3])
+        mean = float(np.mean(finals))
+        standard_error = float(np.std(finals, ddof=1) / np.sqrt(len(finals)))
+        assert abs(mean - n) < 4 * standard_error + 1e-9
+
+    def test_absent_item_estimates_near_zero(self):
+        m, d, n = 8, 8, 400
+        protocol = HashedFrequencyProtocol(m=m, d=d, k=1, epsilon=1.0)
+        items = np.full((n, d), 3, dtype=np.int64)
+        finals = []
+        for trial in range(30):
+            estimates = protocol.run(items, np.random.default_rng(100 + trial))
+            finals.append(estimates[-1, 0])
+        mean = float(np.mean(finals))
+        standard_error = float(np.std(finals, ddof=1) / np.sqrt(len(finals)))
+        assert abs(mean) < 4 * standard_error + 1e-9
+
+    def test_domain_size_free_noise(self):
+        """Unlike one-hot sampling, the per-item noise does not grow with m."""
+        d, n = 8, 300
+        items_small = np.zeros((n, d), dtype=np.int64)
+        spreads = {}
+        for m in (4, 64):
+            protocol = HashedFrequencyProtocol(m=m, d=d, k=1, epsilon=1.0)
+            finals = [
+                protocol.run(items_small, np.random.default_rng(trial))[-1, 0]
+                for trial in range(12)
+            ]
+            spreads[m] = float(np.std(finals, ddof=1))
+        assert spreads[64] < 3 * spreads[4]
+
+    def test_true_counts_helper(self):
+        items = np.array([[0, 1], [1, 1]])
+        counts = HashedFrequencyProtocol.true_counts(items, m=2)
+        assert counts.tolist() == [[1, 1], [0, 2]]
+
+
+class TestAgainstOneHot:
+    def test_hashed_beats_one_hot_for_large_domains(self):
+        """The motivating trade-off: at m=32 the hash oracle's per-item error
+        is smaller than the one-hot coordinate sampler's."""
+        m, d, n = 32, 8, 2000
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, m, size=(n, 1), dtype=np.int64)
+        items = np.repeat(items, d, axis=1)
+        truth = HashedFrequencyProtocol.true_counts(items, m).astype(float)
+
+        hashed = HashedFrequencyProtocol(m=m, d=d, k=1, epsilon=1.0)
+        onehot = CategoricalLongitudinalProtocol(m=m, d=d, k=1, epsilon=1.0)
+        hashed_errors, onehot_errors = [], []
+        for trial in range(6):
+            estimate_hash = hashed.run(items, np.random.default_rng(10 + trial))
+            estimate_onehot = onehot.run(items, np.random.default_rng(20 + trial))
+            hashed_errors.append(np.abs(estimate_hash - truth).max())
+            onehot_errors.append(np.abs(estimate_onehot - truth).max())
+        assert np.mean(hashed_errors) < np.mean(onehot_errors)

@@ -1,0 +1,93 @@
+"""Property-based integration tests: protocol invariants over random inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import hoeffding_radius
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import collect_tree_reports, run_batch
+from repro.postprocess.consistency import (
+    consistent_prefix_estimates,
+    wls_tree_consistency,
+)
+from repro.workloads.generators import BoundedChangePopulation
+
+
+def population_strategy():
+    """Strategy producing (params, states) pairs with valid change budgets."""
+    return st.tuples(
+        st.sampled_from([8, 16, 32]),       # d
+        st.integers(min_value=1, max_value=4),  # k
+        st.integers(min_value=20, max_value=120),  # n
+        st.floats(min_value=0.1, max_value=1.0),  # epsilon
+        st.integers(min_value=0, max_value=2**31 - 1),  # seed
+    )
+
+
+class TestProtocolInvariants:
+    @given(population_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_batch_runs_and_stays_within_radius(self, config):
+        d, k, n, epsilon, seed = config
+        params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+        rng = np.random.default_rng(seed)
+        states = BoundedChangePopulation(d, k).sample(n, rng)
+        result = run_batch(states, params, rng)
+        assert result.estimates.shape == (d,)
+        assert np.isfinite(result.estimates).all()
+        radius = hoeffding_radius(params, result.c_gap, 1e-6)  # generous band
+        assert result.max_abs_error <= radius
+
+    @given(population_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_group_sizes_partition_population(self, config):
+        d, k, n, epsilon, seed = config
+        params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+        rng = np.random.default_rng(seed)
+        states = BoundedChangePopulation(d, k).sample(n, rng)
+        reports = collect_tree_reports(states, params, rng)
+        assert int(reports.group_sizes.sum()) == n
+        # Raw node sums cannot exceed the group size in magnitude (each
+        # member contributes one +-1 bit per node of its own order).
+        for order in range(reports.num_orders):
+            assert np.abs(reports.node_sums[order]).max(initial=0) <= (
+                reports.group_sizes[order]
+            )
+
+    @given(population_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_consistency_preserves_finiteness_and_shape(self, config):
+        d, k, n, epsilon, seed = config
+        params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+        rng = np.random.default_rng(seed)
+        states = BoundedChangePopulation(d, k).sample(n, rng)
+        reports = collect_tree_reports(states, params, rng)
+        estimates = consistent_prefix_estimates(reports)
+        assert estimates.shape == (d,)
+        assert np.isfinite(estimates).all()
+
+    @given(population_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_consistent_tree_prefixes_match_leaf_cumsum(self, config):
+        d, k, n, epsilon, seed = config
+        params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+        rng = np.random.default_rng(seed)
+        states = BoundedChangePopulation(d, k).sample(n, rng)
+        reports = collect_tree_reports(states, params, rng)
+        adjusted = wls_tree_consistency(
+            reports.node_estimates(), reports.node_variances()
+        )
+        # Consistency means every dyadic reconstruction equals the leaf cumsum.
+        from repro.dyadic.intervals import decompose_prefix
+
+        leaf_cumsum = np.cumsum(adjusted[0])
+        for t in (1, d // 2, d - 1, d):
+            via_decomposition = sum(
+                adjusted[interval.order][interval.index - 1]
+                for interval in decompose_prefix(t)
+            )
+            assert via_decomposition == pytest.approx(leaf_cumsum[t - 1], abs=1e-6)

@@ -1,0 +1,172 @@
+"""Tests for the simulation layer: results, runner, engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.simple_randomizer import SimpleRandomizerFamily
+from repro.core.vectorized import run_batch
+from repro.sim.engine import SimulationEngine, StepSnapshot
+from repro.sim.results import ResultTable, format_markdown_table
+from repro.sim.runner import run_trials, sweep
+
+
+class TestResultTable:
+    def test_add_row_and_column(self):
+        table = ResultTable(title="t", columns=["a"])
+        table.add_row(a=1, b=2)
+        assert table.columns == ["a", "b"]
+        assert table.column("a") == [1]
+        assert table.column("b") == [2]
+
+    def test_markdown_render(self):
+        table = ResultTable(title="demo", columns=["x", "y"])
+        table.add_row(x=1, y=0.5)
+        text = table.to_markdown()
+        assert "### demo" in text
+        assert "| x | y   |" in text
+
+    def test_markdown_formats_floats(self):
+        assert "1.234e-05" in format_markdown_table(
+            ["v"], [{"v": 1.234e-5}]
+        )
+        assert "0" in format_markdown_table(["v"], [{"v": 0.0}])
+
+    def test_json_roundtrip(self):
+        table = ResultTable(title="t", columns=["a"], notes="n")
+        table.add_row(a=1.5)
+        clone = ResultTable.from_json(table.to_json())
+        assert clone.title == "t"
+        assert clone.notes == "n"
+        assert clone.rows == table.rows
+
+    def test_csv(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1, b=2)
+        table.add_row(a=3)
+        lines = table.to_csv().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == "3,"
+
+    def test_missing_cells_render_empty(self):
+        table = ResultTable(title="t", columns=["a", "b"])
+        table.add_row(a=1)
+        assert "| 1 |   |" in table.to_markdown()
+
+
+class TestRunTrials:
+    def test_statistics_fields(self, small_params, small_states):
+        stats = run_trials(run_batch, small_states, small_params, trials=3, seed=0)
+        assert stats.trials == 3
+        assert stats.best_max_abs <= stats.mean_max_abs <= stats.worst_max_abs
+        assert stats.std_max_abs >= 0.0
+        assert set(stats.as_dict()) >= {"mean_max_abs", "mean_mae", "mean_rmse"}
+
+    def test_single_trial_zero_std(self, small_params, small_states):
+        stats = run_trials(run_batch, small_states, small_params, trials=1, seed=0)
+        assert stats.std_max_abs == 0.0
+
+    def test_reproducible(self, small_params, small_states):
+        a = run_trials(run_batch, small_states, small_params, trials=2, seed=9)
+        b = run_trials(run_batch, small_states, small_params, trials=2, seed=9)
+        assert a.mean_max_abs == b.mean_max_abs
+
+    def test_rejects_zero_trials(self, small_params, small_states):
+        with pytest.raises(ValueError):
+            run_trials(run_batch, small_states, small_params, trials=0)
+
+
+class TestSweep:
+    def test_table_shape(self):
+        params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
+        table = sweep({"fr": run_batch}, params, "k", [1, 2], trials=1, seed=0)
+        assert table.column("k") == [1.0, 2.0]
+        assert len(table.rows) == 2
+
+    def test_multiple_runners_share_workload(self):
+        params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
+        table = sweep(
+            {"a": run_batch, "b": run_batch}, params, "n", [100, 200], trials=1, seed=0
+        )
+        assert len(table.rows) == 4
+        assert set(table.column("protocol")) == {"a", "b"}
+
+    def test_rejects_unknown_parameter(self):
+        params = ProtocolParams(n=100, d=16, k=2, epsilon=1.0)
+        with pytest.raises(ValueError):
+            sweep({"fr": run_batch}, params, "beta", [0.1], trials=1)
+
+    def test_rejects_empty_values(self):
+        params = ProtocolParams(n=100, d=16, k=2, epsilon=1.0)
+        with pytest.raises(ValueError):
+            sweep({"fr": run_batch}, params, "k", [], trials=1)
+
+    def test_custom_workload(self):
+        params = ProtocolParams(n=100, d=16, k=2, epsilon=1.0)
+        calls = []
+
+        def workload(p, rng):
+            calls.append(p.k)
+            return np.zeros((p.n, p.d), dtype=np.int8)
+
+        sweep({"fr": run_batch}, params, "k", [1, 2], trials=1, workload=workload)
+        assert calls == [1, 2]
+
+
+class TestSimulationEngine:
+    def test_callback_invoked_every_period(self, rng):
+        params = ProtocolParams(n=40, d=8, k=2, epsilon=1.0)
+        states = np.zeros((40, 8), dtype=np.int8)
+        engine = SimulationEngine(params, rng=rng)
+        snapshots: list[StepSnapshot] = []
+        engine.run(states, snapshots.append)
+        assert [snap.t for snap in snapshots] == list(range(1, 9))
+        assert all(snap.true_count == 0 for snap in snapshots)
+
+    def test_snapshot_error_property(self):
+        snapshot = StepSnapshot(t=1, estimate=5.0, true_count=3, reports_this_period=2)
+        assert snapshot.error == 2.0
+
+    def test_result_matches_run_online_contract(self, rng):
+        params = ProtocolParams(n=30, d=8, k=2, epsilon=1.0)
+        states = np.zeros((30, 8), dtype=np.int8)
+        states[:10, 4:] = 1
+        result = SimulationEngine(params, rng=rng).run(states)
+        assert result.estimates.shape == (8,)
+        assert result.true_counts[-1] == 10
+
+    def test_drop_rate_biases_towards_zero(self):
+        """With most reports dropped, estimates shrink towards zero."""
+        params = ProtocolParams(n=150, d=8, k=1, epsilon=1.0)
+        family = SimpleRandomizerFamily(1, 1.0)
+        states = np.ones((150, 8), dtype=np.int8)
+        full_mags, dropped_mags = [], []
+        for trial in range(10):
+            full = SimulationEngine(
+                params, family=family, rng=np.random.default_rng(trial)
+            ).run(states)
+            dropped = SimulationEngine(
+                params,
+                family=family,
+                rng=np.random.default_rng(trial),
+                report_drop_rate=0.9,
+            ).run(states)
+            full_mags.append(abs(full.estimates[-1]))
+            dropped_mags.append(abs(dropped.estimates[-1]))
+        # The undropped run estimates ~n at the end; dropping 90% of reports
+        # shrinks the (debiased) estimate magnitude accordingly.
+        assert np.mean(dropped_mags) < np.mean(full_mags)
+
+    def test_invalid_drop_rate(self):
+        params = ProtocolParams(n=10, d=8, k=1, epsilon=1.0)
+        with pytest.raises(ValueError):
+            SimulationEngine(params, report_drop_rate=1.0)
+
+    def test_shape_validation(self, rng):
+        params = ProtocolParams(n=10, d=8, k=1, epsilon=1.0)
+        engine = SimulationEngine(params, rng=rng)
+        with pytest.raises(ValueError):
+            engine.run(np.zeros((10, 4), dtype=np.int8))

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_cgap_requires_k(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cgap"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "E10" in output
+
+    def test_run_e1(self, capsys):
+        assert main(["run", "E1"]) == 0
+        output = capsys.readouterr().out
+        assert "I_{1,1}" in output
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "E42"])
+
+    def test_run_with_json_output(self, capsys, tmp_path):
+        target = tmp_path / "results"
+        assert main(["run", "E1", "--json", str(target)]) == 0
+        payload = json.loads((target / "E1.json").read_text())
+        assert payload["columns"][0] == "interval"
+
+    def test_cgap_command(self, capsys):
+        assert main(["cgap", "--k", "16", "--epsilon", "0.5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 16
+        assert payload["c_gap"] > 0
+        assert payload["privacy_log_ratio"] <= 0.5 + 1e-9
+
+    def test_verify_command(self, capsys):
+        assert main(["verify", "--k", "8", "--epsilon", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "lemma52" in output
+        assert "FAILED" not in output
+
+    def test_communication_command(self, capsys):
+        assert main(["communication", "--d", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "future_rand" in output
+        assert "naive_rr_split" in output
+
+    def test_simulate_command(self, capsys):
+        assert main(
+            ["simulate", "--n", "500", "--d", "16", "--k", "2", "--seed", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "max |error|" in output
+
+    def test_simulate_with_consistency(self, capsys):
+        assert main(
+            [
+                "simulate", "--n", "500", "--d", "16", "--k", "2",
+                "--consistency",
+            ]
+        ) == 0
+        assert "+consistency" in capsys.readouterr().out
+
+    def test_simulate_baseline(self, capsys):
+        assert main(
+            ["simulate", "--protocol", "naive_split", "--n", "300", "--d", "16",
+             "--k", "2"]
+        ) == 0
+        assert "naive_rr_split" in capsys.readouterr().out
+
+    def test_simulate_consistency_rejected_for_baselines(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["simulate", "--protocol", "naive_split", "--n", "100",
+                 "--d", "16", "--k", "2", "--consistency"]
+            )

@@ -1,0 +1,55 @@
+"""Run the docstring examples of every public module as tests.
+
+Keeps the documentation honest: a drifting API breaks the build, not just
+the docs.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_EXAMPLES = [
+    "repro.utils.numerics",
+    "repro.utils.rng",
+    "repro.dyadic.intervals",
+    "repro.dyadic.derivative",
+    "repro.dyadic.partial_sums",
+    "repro.dyadic.tree",
+    "repro.core.params",
+    "repro.core.basic_randomizer",
+    "repro.core.composed_randomizer",
+    "repro.core.future_rand",
+    "repro.core.client",
+    "repro.sim.results",
+    "repro.sim.runner",
+    "repro.sim.engine",
+    "repro.workloads.generators",
+    "repro.workloads.streams",
+    "repro.extensions.categorical",
+    "repro.extensions.hashed_frequency",
+    "repro.extensions.heavy_hitters",
+    "repro.extensions.sketch",
+    "repro.postprocess.smoothing",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_EXAMPLES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+
+
+def test_every_listed_module_actually_has_examples():
+    """Guard against the list silently rotting."""
+    missing = []
+    for module_name in MODULES_WITH_EXAMPLES:
+        module = importlib.import_module(module_name)
+        finder = doctest.DocTestFinder()
+        examples = [t for t in finder.find(module) if t.examples]
+        if not examples:
+            missing.append(module_name)
+    assert not missing, f"modules without doctest examples: {missing}"

@@ -1,0 +1,233 @@
+"""Unit and property tests for the log-space numeric primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.numerics import (
+    LOG_ZERO,
+    log1mexp,
+    log_add,
+    log_binom,
+    log_binom_range_sum,
+    log_binom_row,
+    log_sub,
+    logsumexp,
+    logsumexp_pairs,
+    stable_exp_diff,
+    weighted_mean,
+)
+
+
+class TestLogBinom:
+    def test_matches_math_comb_small(self):
+        for n in range(0, 25):
+            for i in range(0, n + 1):
+                expected = math.log(math.comb(n, i))
+                assert log_binom(n, i) == pytest.approx(expected, abs=1e-9)
+
+    def test_out_of_range_is_log_zero(self):
+        assert log_binom(5, -1) == LOG_ZERO
+        assert log_binom(5, 6) == LOG_ZERO
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            log_binom(-1, 0)
+
+    def test_large_n_is_finite(self):
+        value = log_binom(10**6, 10**6 // 2)
+        assert math.isfinite(value)
+        # log C(n, n/2) ~ n ln 2 - 0.5 ln(pi n / 2)
+        approx = 10**6 * math.log(2) - 0.5 * math.log(math.pi * 10**6 / 2)
+        assert value == pytest.approx(approx, rel=1e-6)
+
+    @given(st.integers(min_value=0, max_value=300), st.integers(min_value=0, max_value=300))
+    def test_symmetry(self, n, i):
+        if i <= n:
+            assert log_binom(n, i) == pytest.approx(log_binom(n, n - i), abs=1e-8)
+
+
+class TestLogBinomRow:
+    def test_matches_per_element(self):
+        row = log_binom_row(40)
+        for i, value in enumerate(row):
+            assert value == pytest.approx(log_binom(40, i), abs=1e-8)
+
+    def test_row_zero(self):
+        assert log_binom_row(0) == [0.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_binom_row(-3)
+
+
+class TestLogSumExp:
+    def test_empty_is_log_zero(self):
+        assert logsumexp([]) == LOG_ZERO
+
+    def test_all_log_zero(self):
+        assert logsumexp([LOG_ZERO, LOG_ZERO]) == LOG_ZERO
+
+    def test_matches_naive(self):
+        values = [-1.0, -2.5, 0.3]
+        expected = math.log(sum(math.exp(v) for v in values))
+        assert logsumexp(values) == pytest.approx(expected, abs=1e-12)
+
+    def test_extreme_values_no_overflow(self):
+        assert logsumexp([1000.0, 1000.0]) == pytest.approx(1000.0 + math.log(2))
+        assert logsumexp([-2000.0, -2000.0]) == pytest.approx(-2000.0 + math.log(2))
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20))
+    def test_bounds_property(self, values):
+        result = logsumexp(values)
+        peak = max(values)
+        assert peak <= result <= peak + math.log(len(values)) + 1e-9
+
+
+class TestLogSumExpPairs:
+    def test_cancellation_to_zero(self):
+        log_abs, sign = logsumexp_pairs([(0.0, 1.0), (0.0, -1.0)])
+        assert sign == 0.0
+        assert log_abs == LOG_ZERO
+
+    def test_positive_dominates(self):
+        log_abs, sign = logsumexp_pairs([(1.0, 1.0), (0.0, -1.0)])
+        assert sign == 1.0
+        expected = math.log(math.e - 1.0)
+        assert log_abs == pytest.approx(expected, abs=1e-10)
+
+    def test_negative_dominates(self):
+        log_abs, sign = logsumexp_pairs([(0.0, 1.0), (1.0, -1.0)])
+        assert sign == -1.0
+
+    def test_empty(self):
+        log_abs, sign = logsumexp_pairs([])
+        assert (log_abs, sign) == (LOG_ZERO, 0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-20, max_value=20),
+                st.sampled_from([-1.0, 1.0]),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_matches_naive_signed_sum(self, pairs):
+        total = sum(sign * math.exp(log_abs) for log_abs, sign in pairs)
+        log_abs, sign = logsumexp_pairs(pairs)
+        peak = max(math.exp(p[0]) for p in pairs)
+        if sign == 0.0:
+            assert abs(total) <= 1e-6 * peak
+        else:
+            assert sign == math.copysign(1.0, total)
+            # Near-total cancellation amplifies relative error by the
+            # condition number peak/|total|; tolerate accordingly.
+            condition = peak / abs(total) if total != 0 else math.inf
+            tolerance = max(1e-9, 1e-12 * condition)
+            assert math.exp(log_abs) == pytest.approx(abs(total), rel=tolerance)
+
+
+class TestLog1mExp:
+    def test_small_delta_branch(self):
+        delta = 0.1
+        assert log1mexp(delta) == pytest.approx(math.log(1 - math.exp(-delta)), abs=1e-12)
+
+    def test_large_delta_branch(self):
+        delta = 10.0
+        assert log1mexp(delta) == pytest.approx(math.log(1 - math.exp(-delta)), abs=1e-12)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            log1mexp(0.0)
+        with pytest.raises(ValueError):
+            log1mexp(-1.0)
+
+
+class TestLogAddSub:
+    def test_log_add_identity(self):
+        assert log_add(LOG_ZERO, 1.5) == 1.5
+        assert log_add(1.5, LOG_ZERO) == 1.5
+
+    def test_log_add_matches_naive(self):
+        assert log_add(-1.0, -2.0) == pytest.approx(
+            math.log(math.exp(-1.0) + math.exp(-2.0)), abs=1e-12
+        )
+
+    def test_log_sub_matches_naive(self):
+        assert log_sub(-1.0, -2.0) == pytest.approx(
+            math.log(math.exp(-1.0) - math.exp(-2.0)), abs=1e-12
+        )
+
+    def test_log_sub_equal_args(self):
+        assert log_sub(2.0, 2.0) == LOG_ZERO
+
+    def test_log_sub_rejects_negative_result(self):
+        with pytest.raises(ValueError):
+            log_sub(-2.0, -1.0)
+
+    def test_log_sub_log_zero_subtrahend(self):
+        assert log_sub(3.0, LOG_ZERO) == 3.0
+
+
+class TestStableExpDiff:
+    def test_both_log_zero(self):
+        assert stable_exp_diff(LOG_ZERO, LOG_ZERO) == 0.0
+
+    def test_one_sided(self):
+        assert stable_exp_diff(0.0, LOG_ZERO) == pytest.approx(1.0)
+        assert stable_exp_diff(LOG_ZERO, 0.0) == pytest.approx(-1.0)
+
+    def test_close_values_preserve_precision(self):
+        a = -5.0
+        b = -5.0 + 1e-12
+        result = stable_exp_diff(b, a)
+        expected = math.exp(-5.0) * 1e-12
+        assert result == pytest.approx(expected, rel=1e-3)
+
+    @given(
+        st.floats(min_value=-50, max_value=50),
+        st.floats(min_value=-50, max_value=50),
+    )
+    def test_matches_naive_up_to_float_resolution(self, a, b):
+        # The stable version can be *more* accurate than naive subtraction
+        # (which rounds tiny differences to zero), so compare with an absolute
+        # tolerance at the resolution of the larger operand.
+        tolerance = 1e-12 * max(math.exp(a), math.exp(b))
+        assert stable_exp_diff(a, b) == pytest.approx(
+            math.exp(a) - math.exp(b), abs=tolerance
+        )
+
+
+class TestLogBinomRangeSum:
+    def test_full_range_is_2_to_n(self):
+        assert log_binom_range_sum(20, 0, 20) == pytest.approx(20 * math.log(2), abs=1e-9)
+
+    def test_clipping(self):
+        assert log_binom_range_sum(10, -5, 3) == pytest.approx(
+            math.log(sum(math.comb(10, i) for i in range(0, 4))), abs=1e-9
+        )
+
+    def test_empty_range(self):
+        assert log_binom_range_sum(10, 7, 3) == LOG_ZERO
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weighting(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])

@@ -1,0 +1,126 @@
+"""Tests for the argument validators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_power_of_two,
+    check_privacy_budget,
+    check_probability,
+    check_sign_vector,
+    check_sparse_signs,
+    ensure_int,
+    ensure_positive,
+)
+
+
+class TestEnsureInt:
+    def test_int_passthrough(self):
+        assert ensure_int(5, "x") == 5
+
+    def test_numpy_integer(self):
+        assert ensure_int(np.int64(7), "x") == 7
+
+    def test_integral_float(self):
+        assert ensure_int(4.0, "x") == 4
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_int(True, "x")
+
+    def test_fractional_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_int(4.5, "x")
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_int("4", "x")
+
+
+class TestEnsurePositive:
+    def test_positive(self):
+        assert ensure_positive(1, "x") == 1
+
+    @pytest.mark.parametrize("value", [0, -1, -100])
+    def test_non_positive_rejected(self, value):
+        with pytest.raises(ValueError):
+            ensure_positive(value, "x")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 2**20])
+    def test_accepts_powers(self, value):
+        assert check_power_of_two(value) == value
+
+    @pytest.mark.parametrize("value", [3, 5, 6, 7, 12, 1000])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            check_power_of_two(value)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(0)
+
+
+class TestCheckProbability:
+    def test_accepts_interior(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckPrivacyBudget:
+    def test_accepts_positive(self):
+        assert check_privacy_budget(0.5) == 0.5
+        assert check_privacy_budget(3.0) == 3.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            check_privacy_budget(0.0)
+
+    def test_regime_guard(self):
+        assert check_privacy_budget(1.0, require_at_most_one=True) == 1.0
+        with pytest.raises(ValueError):
+            check_privacy_budget(1.5, require_at_most_one=True)
+
+
+class TestCheckSignVector:
+    def test_accepts_signs(self):
+        result = check_sign_vector([1, -1, 1])
+        assert result.dtype == np.int8
+        assert result.tolist() == [1, -1, 1]
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            check_sign_vector([1, 0, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_sign_vector([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_sign_vector(np.ones((2, 2)))
+
+
+class TestCheckSparseSigns:
+    def test_accepts_sparse(self):
+        result = check_sparse_signs([0, 1, 0, -1], k=2)
+        assert result.dtype == np.int8
+
+    def test_rejects_dense(self):
+        with pytest.raises(ValueError):
+            check_sparse_signs([1, 1, -1], k=2)
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            check_sparse_signs([0, 2, 0], k=2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_sparse_signs(np.zeros((2, 3)), k=2)

@@ -1,0 +1,106 @@
+"""Tests for adversarial workload generators + protocol robustness on them."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import hoeffding_radius
+from repro.core.params import ProtocolParams
+from repro.core.vectorized import run_batch
+from repro.workloads.adversarial import (
+    boundary_aligned,
+    boundary_misaligned,
+    full_budget_oscillation,
+    synchronized_spike,
+)
+
+
+def _changes(states: np.ndarray) -> np.ndarray:
+    return np.count_nonzero(np.diff(states, axis=1, prepend=0), axis=1)
+
+
+class TestGenerators:
+    def test_spike_shape_and_truth(self):
+        states = synchronized_spike(100, 32, flip_time=9)
+        assert states.shape == (100, 32)
+        counts = states.sum(axis=0)
+        assert counts[7] == 0 and counts[8] == 100
+
+    def test_spike_single_change(self):
+        states = synchronized_spike(10, 16, flip_time=1)
+        assert (_changes(states) == 1).all()
+
+    def test_spike_validation(self):
+        with pytest.raises(ValueError):
+            synchronized_spike(10, 16, flip_time=17)
+
+    def test_boundary_aligned_changes_on_boundaries(self):
+        states = boundary_aligned(5, 64, k=3)
+        deriv = np.diff(states[0], prepend=0)
+        for t in np.flatnonzero(deriv) + 1:
+            assert t in (8, 16, 32)
+
+    def test_boundary_misaligned_changes_off_boundaries(self):
+        states = boundary_misaligned(5, 64, k=3)
+        deriv = np.diff(states[0], prepend=0)
+        for t in np.flatnonzero(deriv) + 1:
+            assert t in (9, 17, 33)
+
+    def test_budget_respected(self):
+        for factory in (boundary_aligned, boundary_misaligned):
+            states = factory(20, 64, 4)
+            assert _changes(states).max() <= 4
+
+    def test_oscillation_uses_full_budget(self, rng):
+        states = full_budget_oscillation(30, 32, k=5, rng=rng)
+        assert (_changes(states) == 5).all()
+
+    def test_oscillation_changes_consecutive(self, rng):
+        states = full_budget_oscillation(10, 32, k=4, rng=rng)
+        for row in states:
+            nonzeros = np.flatnonzero(np.diff(row, prepend=0))
+            assert nonzeros.max() - nonzeros.min() == 3
+
+    def test_oscillation_validation(self, rng):
+        with pytest.raises(ValueError):
+            full_budget_oscillation(10, 8, k=9, rng=rng)
+
+
+class TestProtocolRobustness:
+    """The error guarantee is workload-independent; adversarial inputs must
+    stay within the same radius as benign ones."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda n, d, k: synchronized_spike(n, d, d // 2),
+            boundary_aligned,
+            boundary_misaligned,
+            lambda n, d, k: full_budget_oscillation(n, d, k, np.random.default_rng(0)),
+        ],
+    )
+    def test_error_within_radius(self, factory):
+        params = ProtocolParams(n=500, d=32, k=4, epsilon=1.0)
+        states = factory(params.n, params.d, params.k)
+        result = run_batch(states, params, np.random.default_rng(1))
+        radius = hoeffding_radius(params, result.c_gap, params.beta / params.d)
+        assert result.max_abs_error <= radius
+
+    def test_alignment_does_not_matter_statistically(self):
+        """Aligned vs misaligned change times give comparable error."""
+        params = ProtocolParams(n=1000, d=64, k=3, epsilon=1.0)
+        aligned_states = boundary_aligned(params.n, params.d, params.k)
+        misaligned_states = boundary_misaligned(params.n, params.d, params.k)
+        aligned_errors, misaligned_errors = [], []
+        for trial in range(6):
+            aligned_errors.append(
+                run_batch(aligned_states, params, np.random.default_rng(trial)).max_abs_error
+            )
+            misaligned_errors.append(
+                run_batch(
+                    misaligned_states, params, np.random.default_rng(100 + trial)
+                ).max_abs_error
+            )
+        ratio = np.mean(aligned_errors) / np.mean(misaligned_errors)
+        assert 0.5 < ratio < 2.0
