@@ -13,6 +13,19 @@ of a few hundred, so — exactly as in industrial deployments — a population i
 the millions is needed before the signal dominates the noise.  The vectorized
 driver handles that comfortably.
 
+Picking a driver — three interchangeable options, same distribution of
+outputs (the randomizer kernels are shared):
+
+* ``repro.core.vectorized.run_batch`` (used below) — offline batch: fastest
+  way to get all ``d`` estimates at once; no per-period hooks.
+* ``repro.sim.BatchSimulationEngine`` — *online* batch: replays the protocol
+  period by period with per-period ``StepSnapshot`` callbacks and report-drop
+  fault injection, still vectorized across the population.  Use it for live
+  monitoring or robustness studies at scale.
+* ``repro.sim.SimulationEngine`` — object engine: one Python ``Client`` per
+  user; the deployment-shaped reference, ~2 orders of magnitude slower.
+  Use it to exercise per-user mechanics, not for large populations.
+
 Run:  python examples/quickstart.py
 """
 

@@ -3,10 +3,16 @@
 Devices report whether a feature flag is enabled while the fleet adopts the
 feature along a sigmoid ramp (the Ding et al. 2017 use case).
 
-Part 1 runs the real client/server object protocol period by period on a
-small fleet — showing the report flow a deployment would see.  Part 2 reruns
-the same scenario at deployment scale (1M devices) with the vectorized driver
-and answers a monitoring question: when did fleet-wide enablement cross 50%?
+Part 1 replays the online protocol period by period on a mid-size fleet with
+the *batched* engine — the same per-period report flow, clock semantics and
+monitoring callbacks a deployment would see, but vectorized across the
+population — and injects a 30% report-drop fault to show the resulting bias.
+Part 2 reruns the scenario at deployment scale (1M devices) and answers a
+monitoring question: when did fleet-wide enablement cross 50%?
+
+(The object engine — one ``Client`` state machine per device — exercises the
+identical event loop at O(n*d) interpreter cost; use it when you want to step
+through per-device mechanics rather than monitor a fleet.)
 
 Run:  python examples/telemetry_fleet.py
 """
@@ -16,39 +22,46 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.params import ProtocolParams
-from repro.core.vectorized import run_batch
-from repro.sim.engine import SimulationEngine, StepSnapshot
+from repro.sim.batch_engine import BatchSimulationEngine
+from repro.sim.engine import StepSnapshot
 from repro.workloads import TrendPopulation, telemetry_fleet_scenario
 
 
 def online_mechanics() -> None:
-    """Part 1: the deployment-shaped event loop (small fleet)."""
+    """Part 1: the online event loop, vectorized (n=20,000)."""
     scenario = telemetry_fleet_scenario(
-        n=2_000, d=32, k=3, epsilon=1.0, rng=np.random.default_rng(3)
+        n=20_000, d=32, k=3, epsilon=1.0, rng=np.random.default_rng(3)
     )
-    print("Part 1 - online event loop (n=2,000; estimates are noise-dominated")
-    print("at this fleet size, illustrating the sqrt(n) cost of the local model):")
-    print("   t    reports    estimate    true")
+    print("Part 1 - online event loop (batched engine, n=20,000), healthy")
+    print("network vs. 30% of reports dropped in transit:")
+    print("   t    reports    estimate    true        reports    estimate (30% drop)")
 
-    def monitor(snapshot: StepSnapshot) -> None:
-        if snapshot.t % 8 == 0:
+    healthy: list[StepSnapshot] = []
+    degraded: list[StepSnapshot] = []
+    BatchSimulationEngine(scenario.params, rng=np.random.default_rng(4)).run(
+        scenario.states, healthy.append
+    )
+    BatchSimulationEngine(
+        scenario.params, rng=np.random.default_rng(4), report_drop_rate=0.3
+    ).run(scenario.states, degraded.append)
+
+    for full, dropped in zip(healthy, degraded):
+        if full.t % 8 == 0:
             print(
-                f"{snapshot.t:5d}  {snapshot.reports_this_period:8d}  "
-                f"{snapshot.estimate:10,.0f}  {snapshot.true_count:6d}"
+                f"{full.t:5d}  {full.reports_this_period:8d}  "
+                f"{full.estimate:10,.0f}  {full.true_count:6d}     "
+                f"{dropped.reports_this_period:8d}  {dropped.estimate:10,.0f}"
             )
-
-    SimulationEngine(scenario.params, rng=np.random.default_rng(4)).run(
-        scenario.states, monitor
-    )
 
 
 def deployment_scale() -> None:
-    """Part 2: 1M devices through the vectorized driver."""
+    """Part 2: 1M devices through the batched engine."""
     params = ProtocolParams(n=1_000_000, d=64, k=4, epsilon=1.0)
     states = TrendPopulation(params.d, params.k, curve="sigmoid").sample(
         params.n, np.random.default_rng(5)
     )
-    result = run_batch(states, params, np.random.default_rng(6))
+    engine = BatchSimulationEngine(params, rng=np.random.default_rng(6))
+    result = engine.run(states)
 
     # Light post-processing (moving average) is free: the estimates are
     # already private, and adjacent-period smoothing cuts independent noise.

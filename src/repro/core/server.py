@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.client import Report
 from repro.dyadic.intervals import DyadicInterval, decompose_prefix
+from repro.dyadic.prefix_matrix import reconstruct_all_prefixes
 from repro.dyadic.tree import DyadicTree
 from repro.utils.validation import check_power_of_two
 
@@ -93,6 +94,18 @@ class Server:
             raise ValueError(f"time cannot move backwards ({self._time} -> {t})")
         self._time = t
 
+    def _check_emission(self, order: int, index: int) -> None:
+        """Validate an ``I_{order, index}`` report slot against the horizon
+        and the online clock (shared by the scalar and batch ingestion paths)."""
+        emission_time = index << order
+        if emission_time > self._d:
+            raise ValueError(f"report index {index} exceeds the horizon")
+        if self._time and emission_time > self._time:
+            raise ValueError(
+                f"report for time {emission_time} arrived while the clock is at "
+                f"{self._time}; advance_to({emission_time}) first"
+            )
+
     def receive(self, report: Report) -> None:
         """Ingest one client report (the body of Algorithm 2's loop)."""
         if report.user_id not in self._orders:
@@ -105,14 +118,7 @@ class Server:
             )
         if report.bit not in (-1, 1):
             raise ValueError(f"report bit must be -1 or +1, got {report.bit}")
-        emission_time = report.index << order
-        if emission_time > self._d:
-            raise ValueError(f"report index {report.index} exceeds the horizon")
-        if self._time and emission_time > self._time:
-            raise ValueError(
-                f"report for time {emission_time} arrived while the clock is at "
-                f"{self._time}; advance_to({emission_time}) first"
-            )
+        self._check_emission(order, report.index)
         if self._reject_duplicates:
             key = (report.user_id, report.index)
             if key in self._seen:
@@ -127,10 +133,48 @@ class Server:
     def receive_all(self, reports: Iterable[Report]) -> None:
         """Ingest many reports (advancing the clock to each emission time)."""
         for report in reports:
-            emission_time = report.index << self._orders.get(report.user_id, 0)
+            # Validate registration and order consistency *before* touching
+            # the clock: computing the emission time from a defaulted or
+            # mismatched order could advance_to a wrong time and corrupt
+            # server state before receive() raises.
+            if report.user_id not in self._orders:
+                raise KeyError(f"user {report.user_id} never registered an order")
+            order = self._orders[report.user_id]
+            if report.order != order:
+                raise ValueError(
+                    f"user {report.user_id} registered order {order} but "
+                    f"reported order {report.order}"
+                )
+            emission_time = report.index << order
             if emission_time > self._time:
                 self.advance_to(emission_time)
             self.receive(report)
+
+    def receive_batch(self, order: int, index: int, bits: np.ndarray) -> int:
+        """Ingest many ``{-1, +1}`` reports for one dyadic interval at once.
+
+        The vectorized ingestion path used by the batch simulation engine:
+        ``bits`` holds one report per emitting user for the interval
+        ``I_{order, index}``, and the whole batch is accumulated into the tree
+        with a single addition.  The online clock semantics of :meth:`receive`
+        apply unchanged; per-user registration/duplicate bookkeeping is the
+        caller's responsibility (the batch engine tracks orders as an array).
+        Returns the number of reports ingested.
+        """
+        max_order = self._d.bit_length() - 1
+        if not 0 <= order <= max_order:
+            raise ValueError(f"order must be in [0, {max_order}], got {order}")
+        if index < 1:
+            raise ValueError(f"index must be at least 1, got {index}")
+        array = np.asarray(bits)
+        if array.ndim != 1:
+            raise ValueError(f"bits must be 1-D, got shape {array.shape}")
+        if array.size and not np.isin(array, (-1, 1)).all():
+            raise ValueError("report bits must all be -1 or +1")
+        self._check_emission(order, index)
+        self._tree.add(DyadicInterval(order, index), float(array.sum()))
+        self._reports_received += array.size
+        return int(array.size)
 
     def partial_sum_estimate(self, interval: DyadicInterval) -> float:
         """Return ``S_hat(I_{h,j})`` (Algorithm 2, line 5)."""
@@ -152,5 +196,12 @@ class Server:
         return self._scale * self._tree.range_sum(left, right)
 
     def all_estimates(self) -> np.ndarray:
-        """Return ``[a_hat[1], ..., a_hat[d]]`` (requires the horizon elapsed)."""
-        return np.array([self.estimate(t) for t in range(1, self._d + 1)])
+        """Return ``[a_hat[1], ..., a_hat[d]]`` (requires the horizon elapsed).
+
+        Computed in one vectorized pass over the flattened tree via the
+        precomputed prefix-decomposition operator, instead of ``d`` separate
+        O(log d) Python-level decompositions.
+        """
+        return self._scale * reconstruct_all_prefixes(
+            self._tree.flat_values(), self._d
+        )

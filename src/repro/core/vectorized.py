@@ -27,10 +27,16 @@ import numpy as np
 from repro.core.interfaces import RandomizerFamily
 from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult, default_family
-from repro.dyadic.intervals import decompose_prefix
+from repro.dyadic.prefix_matrix import reconstruct_all_prefixes
 from repro.utils.rng import as_generator
 
-__all__ = ["run_batch", "collect_tree_reports", "group_partial_sums", "BatchTreeReports"]
+__all__ = [
+    "run_batch",
+    "collect_tree_reports",
+    "group_partial_sums",
+    "validate_states",
+    "BatchTreeReports",
+]
 
 
 def group_partial_sums(states: np.ndarray, order: int) -> np.ndarray:
@@ -101,18 +107,15 @@ class BatchTreeReports:
         ]
 
     def prefix_estimates(self) -> np.ndarray:
-        """Algorithm 2's estimates ``a_hat[1..d]`` from the raw tree."""
-        d = self.horizon
-        estimates = np.empty(d, dtype=np.float64)
-        for t in range(1, d + 1):
-            total = 0.0
-            for interval in decompose_prefix(t):
-                total += (
-                    self.node_scales[interval.order]
-                    * self.node_sums[interval.order][interval.index - 1]
-                )
-            estimates[t - 1] = total
-        return estimates
+        """Algorithm 2's estimates ``a_hat[1..d]`` from the raw tree.
+
+        One vectorized pass: scale each order's node sums, flatten, and apply
+        the precomputed prefix-decomposition operator shared with
+        :meth:`repro.core.server.Server.all_estimates`.
+        """
+        return reconstruct_all_prefixes(
+            np.concatenate(self.node_estimates()), self.horizon
+        )
 
     def to_result(self) -> ProtocolResult:
         """Collapse into the standard :class:`ProtocolResult`."""
@@ -125,7 +128,13 @@ class BatchTreeReports:
         )
 
 
-def _validate_states(states: np.ndarray, params: ProtocolParams) -> np.ndarray:
+def validate_states(states: np.ndarray, params: ProtocolParams) -> np.ndarray:
+    """Validate an ``(n, d)`` Boolean population matrix against ``params``.
+
+    Checks shape, 0/1 entries, and the per-user change budget ``k`` (counting
+    the implicit ``st_u[0] = 0`` boundary); returns the matrix as an array.
+    Shared by the batch drivers.
+    """
     matrix = np.asarray(states)
     if matrix.ndim != 2:
         raise ValueError(f"states must be 2-D (n, d), got shape {matrix.shape}")
@@ -159,7 +168,7 @@ def collect_tree_reports(
     the per-order debias scale becomes ``1 / (Pr[h] * c_gap)``, keeping the
     estimator unbiased).
     """
-    matrix = _validate_states(states, params)
+    matrix = validate_states(states, params)
     n, d = matrix.shape
     rng = as_generator(rng)
     if family is None:

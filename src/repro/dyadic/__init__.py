@@ -11,6 +11,9 @@ This subpackage implements Definitions 3.1–3.4 and Fact 3.8 of the paper:
   and their population aggregates.
 * :mod:`repro.dyadic.tree` — a dyadic interval tree for hierarchical
   aggregation and range reconstruction.
+* :mod:`repro.dyadic.prefix_matrix` — precomputed prefix-decomposition
+  operators (index arrays / 0-1 matrix) over the flattened tree, turning
+  "all d prefix reconstructions" into one vectorized scatter-add.
 """
 
 from repro.dyadic.derivative import (
@@ -26,6 +29,13 @@ from repro.dyadic.intervals import (
     interval_set,
     intervals_of_order,
     num_orders,
+)
+from repro.dyadic.prefix_matrix import (
+    flat_node_count,
+    flat_offsets,
+    prefix_decomposition_indices,
+    prefix_decomposition_matrix,
+    reconstruct_all_prefixes,
 )
 from repro.dyadic.partial_sums import (
     all_partial_sums,
@@ -51,4 +61,9 @@ __all__ = [
     "all_partial_sums",
     "population_partial_sums",
     "DyadicTree",
+    "flat_node_count",
+    "flat_offsets",
+    "prefix_decomposition_indices",
+    "prefix_decomposition_matrix",
+    "reconstruct_all_prefixes",
 ]

@@ -1,0 +1,110 @@
+"""Precomputed prefix-decomposition operators over the flattened dyadic tree.
+
+Both the online server (:meth:`repro.core.server.Server.all_estimates`) and the
+batch drivers (:meth:`repro.core.vectorized.BatchTreeReports.prefix_estimates`)
+need all ``d`` prefix reconstructions ``a_hat[t] = sum_{I in C(t)} value(I)``
+at once.  Walking :func:`repro.dyadic.intervals.decompose_prefix` per prefix is
+an O(d log d) Python-level loop; this module precomputes the decomposition
+*once per horizon* as index arrays over a flattened node vector, turning the
+reconstruction into a single numpy scatter-add (or, equivalently, a sparse
+0/1 matrix–vector product).
+
+Flattened layout: the ``2d - 1`` dyadic nodes are concatenated by increasing
+order — order ``h`` occupies ``d >> h`` slots starting at ``flat_offsets(d)[h]``
+— matching ``np.concatenate`` over per-order level arrays.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.dyadic.intervals import decompose_prefix
+from repro.utils.validation import check_power_of_two
+
+__all__ = [
+    "flat_node_count",
+    "flat_offsets",
+    "prefix_decomposition_indices",
+    "prefix_decomposition_matrix",
+    "reconstruct_all_prefixes",
+]
+
+
+def flat_node_count(d: int) -> int:
+    """Return ``2d - 1``, the number of dyadic nodes over the horizon ``[1..d]``."""
+    return 2 * check_power_of_two(d, "d") - 1
+
+
+@lru_cache(maxsize=None)
+def flat_offsets(d: int) -> np.ndarray:
+    """Return the flat-vector offset of each order's first node (read-only).
+
+    ``flat_offsets(d)[h] + (j - 1)`` is the flat slot of ``I_{h,j}``.
+    """
+    d = check_power_of_two(d, "d")
+    sizes = np.array([d >> order for order in range(d.bit_length())], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes[:-1])])
+    offsets.flags.writeable = False
+    return offsets
+
+
+@lru_cache(maxsize=None)
+def prefix_decomposition_indices(d: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(rows, cols)`` index arrays of the prefix-decomposition operator.
+
+    Entry ``i`` says: prefix ``t = rows[i] + 1`` includes the flat node
+    ``cols[i]`` in its decomposition ``C(t)``.  There are
+    ``sum_t popcount(t)`` = O(d log d) entries.  Both arrays are cached
+    per-horizon and read-only.
+    """
+    d = check_power_of_two(d, "d")
+    offsets = flat_offsets(d)
+    rows: list[int] = []
+    cols: list[int] = []
+    for t in range(1, d + 1):
+        for interval in decompose_prefix(t):
+            rows.append(t - 1)
+            cols.append(int(offsets[interval.order]) + interval.index - 1)
+    row_array = np.array(rows, dtype=np.int64)
+    col_array = np.array(cols, dtype=np.int64)
+    row_array.flags.writeable = False
+    col_array.flags.writeable = False
+    return row_array, col_array
+
+
+@lru_cache(maxsize=4)
+def prefix_decomposition_matrix(d: int) -> np.ndarray:
+    """Return the dense ``(d, 2d - 1)`` 0/1 prefix-decomposition matrix.
+
+    ``matrix @ flat_values`` yields all ``d`` prefix reconstructions.  The
+    dense form is the reference/inspection view (and is what small-horizon
+    callers multiply against); :func:`reconstruct_all_prefixes` uses the
+    index form, which stays O(d log d) in memory for large horizons.  The
+    cache is deliberately small — a dense matrix is O(d^2) floats, so
+    pinning every horizon ever queried would be a memory footgun.
+    """
+    d = check_power_of_two(d, "d")
+    rows, cols = prefix_decomposition_indices(d)
+    matrix = np.zeros((d, flat_node_count(d)), dtype=np.float64)
+    matrix[rows, cols] = 1.0
+    matrix.flags.writeable = False
+    return matrix
+
+
+def reconstruct_all_prefixes(flat_values: np.ndarray, d: int) -> np.ndarray:
+    """Return ``[sum_{I in C(t)} flat_values[I] for t in 1..d]`` in one pass.
+
+    ``flat_values`` is the flattened node vector (layout of
+    :func:`flat_offsets`); the reconstruction is a single ``bincount``
+    scatter-add over the precomputed index arrays.
+    """
+    flat = np.asarray(flat_values, dtype=np.float64)
+    expected = flat_node_count(d)
+    if flat.shape != (expected,):
+        raise ValueError(
+            f"flat_values must have shape ({expected},) for d={d}, got {flat.shape}"
+        )
+    rows, cols = prefix_decomposition_indices(d)
+    return np.bincount(rows, weights=flat[cols], minlength=d)

@@ -21,6 +21,7 @@ from repro.dyadic.intervals import (
     decompose_prefix,
     decompose_range,
 )
+from repro.dyadic.prefix_matrix import reconstruct_all_prefixes
 from repro.utils.validation import check_power_of_two
 
 __all__ = ["DyadicTree"]
@@ -116,9 +117,21 @@ class DyadicTree:
             total += self[interval]
         return total
 
+    def flat_values(self) -> np.ndarray:
+        """Return all ``2d - 1`` node values concatenated by increasing order.
+
+        The layout matches :func:`repro.dyadic.prefix_matrix.flat_offsets`:
+        order ``h`` occupies ``d >> h`` consecutive slots.
+        """
+        return np.concatenate(self._levels)
+
     def all_prefix_sums(self) -> np.ndarray:
-        """Return ``[prefix_sum(1), ..., prefix_sum(d)]`` in O(d log d)."""
-        return np.array([self.prefix_sum(t) for t in range(1, self._d + 1)])
+        """Return ``[prefix_sum(1), ..., prefix_sum(d)]`` in one vectorized pass.
+
+        Uses the precomputed prefix-decomposition index arrays rather than
+        walking ``decompose_prefix`` per prefix in Python.
+        """
+        return reconstruct_all_prefixes(self.flat_values(), self._d)
 
     def fill_from(
         self, source: Callable[[DyadicInterval], float], *, orders: Optional[list[int]] = None

@@ -1,13 +1,37 @@
-"""Simulation engine and experiment runner.
+"""Simulation engines and experiment runner.
 
 * :mod:`repro.sim.results` — tabular result containers (rows, tables,
   JSON/CSV/markdown serialization).
 * :mod:`repro.sim.runner` — repeated-trial execution, parameter sweeps and
   scaling-exponent extraction on top of any protocol callable.
-* :mod:`repro.sim.engine` — an instrumented online event loop exposing
-  per-period callbacks (used by the examples for live monitoring).
+* :mod:`repro.sim.engine` — the *object* engine: one Python ``Client`` per
+  user driving a real ``Server`` period by period.
+* :mod:`repro.sim.batch_engine` — the *batch* engine: the same online event
+  loop vectorized across the whole population.
+
+Which engine to use
+-------------------
+
+Both engines expose the identical ``run(states, callback)`` contract —
+per-period :class:`StepSnapshot` callbacks, report-drop fault injection,
+online server clock semantics — and produce statistically indistinguishable
+estimates (the randomizer kernels are shared; the integration tests verify
+the equivalence).
+
+* Use :class:`SimulationEngine` (object engine) to exercise the
+  deployment-shaped API: real ``Client`` state machines, per-report
+  ``Server.receive`` calls, per-user registration and duplicate detection.
+  It is the faithful reference, at O(n * d) interpreter cost — fine up to a
+  few thousand users.
+* Use :class:`BatchSimulationEngine` (batch engine) for anything at scale:
+  monitoring dashboards over large fleets, drop-rate robustness studies,
+  adversarial workloads, parameter sweeps.  It precomputes all per-user
+  randomness in batched numpy draws and delivers each period's reports with
+  one ``Server.receive_batch`` call per order group — millions of
+  user-periods per second.
 """
 
+from repro.sim.batch_engine import BatchSimulationEngine, run_batch_engine
 from repro.sim.engine import SimulationEngine, StepSnapshot
 from repro.sim.results import ResultTable, format_markdown_table
 from repro.sim.runner import (
@@ -18,6 +42,8 @@ from repro.sim.runner import (
 )
 
 __all__ = [
+    "BatchSimulationEngine",
+    "run_batch_engine",
     "SimulationEngine",
     "StepSnapshot",
     "ResultTable",

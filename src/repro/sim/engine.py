@@ -21,7 +21,7 @@ from repro.core.protocol import ProtocolResult, default_family
 from repro.core.server import Server
 from repro.utils.rng import as_generator, spawn_generators
 
-__all__ = ["SimulationEngine", "StepSnapshot"]
+__all__ = ["OnlineEngineBase", "SimulationEngine", "StepSnapshot"]
 
 
 @dataclass(frozen=True)
@@ -39,17 +39,14 @@ class StepSnapshot:
         return self.estimate - self.true_count
 
 
-class SimulationEngine:
-    """Online protocol simulation with per-period callbacks.
+class OnlineEngineBase:
+    """Shared construction and fault-model validation for the online engines.
 
-    >>> import numpy as np
-    >>> from repro.workloads import BoundedChangePopulation
-    >>> params = ProtocolParams(n=50, d=8, k=2, epsilon=1.0)
-    >>> states = BoundedChangePopulation(8, 2).sample(50, np.random.default_rng(0))
-    >>> engine = SimulationEngine(params, rng=np.random.default_rng(1))
-    >>> result = engine.run(states)
-    >>> result.estimates.shape
-    (8,)
+    Subclasses (:class:`SimulationEngine` here, and
+    :class:`repro.sim.batch_engine.BatchSimulationEngine`) provide ``run``;
+    the constructor contract — params, family default, rng coercion,
+    drop-rate validation — is deliberately identical so the engines stay
+    drop-in replacements for each other.
     """
 
     def __init__(
@@ -73,6 +70,20 @@ class SimulationEngine:
     def family(self) -> RandomizerFamily:
         """The randomizer family deployed client-side."""
         return self._family
+
+
+class SimulationEngine(OnlineEngineBase):
+    """Online protocol simulation with per-period callbacks.
+
+    >>> import numpy as np
+    >>> from repro.workloads import BoundedChangePopulation
+    >>> params = ProtocolParams(n=50, d=8, k=2, epsilon=1.0)
+    >>> states = BoundedChangePopulation(8, 2).sample(50, np.random.default_rng(0))
+    >>> engine = SimulationEngine(params, rng=np.random.default_rng(1))
+    >>> result = engine.run(states)
+    >>> result.estimates.shape
+    (8,)
+    """
 
     def run(
         self,

@@ -9,6 +9,10 @@ utilities here layer reproducible repetition and sweeping on top:
 * :func:`sweep` — vary one parameter (``k``, ``d``, ``n``, ``epsilon``),
   regenerate the workload per point, and tabulate the results — the engine
   behind experiments E2–E5 and E10.
+
+Both accept ``None`` in place of the runner(s) and default to the batched
+online engine (:func:`repro.sim.batch_engine.run_batch_engine`), the fastest
+full-fidelity driver.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import numpy as np
 from repro.analysis.accuracy import summarize_errors
 from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult
+from repro.sim.batch_engine import run_batch_engine
 from repro.sim.results import ResultTable
 from repro.utils.rng import spawn_generators
 from repro.workloads.generators import BoundedChangePopulation
@@ -66,14 +71,19 @@ class TrialStatistics:
 
 
 def run_trials(
-    runner: ProtocolRunner,
+    runner: Optional[ProtocolRunner],
     states: np.ndarray,
     params: ProtocolParams,
     *,
     trials: int = 5,
     seed: Optional[int] = None,
 ) -> TrialStatistics:
-    """Run ``runner`` repeatedly on the same workload with independent seeds."""
+    """Run ``runner`` repeatedly on the same workload with independent seeds.
+
+    ``runner=None`` selects the batched online engine.
+    """
+    if runner is None:
+        runner = run_batch_engine
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     generators = spawn_generators(np.random.SeedSequence(seed), trials)
@@ -104,7 +114,7 @@ def _default_workload(params: ProtocolParams, rng: np.random.Generator) -> np.nd
 
 
 def sweep(
-    runners: dict[str, ProtocolRunner],
+    runners: Optional[dict[str, ProtocolRunner]],
     base_params: ProtocolParams,
     parameter: str,
     values: Sequence[float],
@@ -120,14 +130,16 @@ def sweep(
 
     For each value the workload is regenerated (same seed stream, so runners
     at the same sweep point see the same population) and each runner executes
-    ``trials`` independent repetitions.
+    ``trials`` independent repetitions.  ``runners=None`` selects the batched
+    online engine under the name ``"future_rand"``.
 
-    >>> from repro.core.vectorized import run_batch
     >>> params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
-    >>> table = sweep({"fr": run_batch}, params, "k", [1, 2], trials=1, seed=0)
+    >>> table = sweep(None, params, "k", [1, 2], trials=1, seed=0)
     >>> table.column("k")
     [1.0, 2.0]
     """
+    if runners is None:
+        runners = {"future_rand": run_batch_engine}
     if parameter not in ("n", "d", "k", "epsilon"):
         raise ValueError(f"cannot sweep {parameter!r}; pick one of n/d/k/epsilon")
     if not values:

@@ -82,6 +82,16 @@ def logsumexp_pairs(pairs: Iterable[tuple[float, float]]) -> tuple[float, float]
 
     Returns ``(log|S|, sign(S))`` where ``S`` is the signed sum.  Used for
     quantities like ``c_gap`` whose summands change sign across the annulus.
+
+    **Exact-cancellation contract.**  The positive and negative terms are each
+    reduced with :func:`logsumexp` first; whenever the two reductions agree to
+    float precision (``log_pos == log_neg``) the result is reported as an exact
+    zero, ``(LOG_ZERO, 0.0)``, even though the true signed sum may be as large
+    as a few ulps of the total mass ``sum(exp(log_abs))`` (a relative residue
+    of order ``1e-16``).  Conversely, a reported non-zero whose magnitude is
+    at the ulp level of the total mass may be pure rounding residue of the two
+    reductions.  Callers that must distinguish a true zero from
+    cancellation-at-float-precision have to track the terms themselves.
     """
     positives = []
     negatives = []

@@ -9,7 +9,7 @@ platforms tracking feature flags (the Microsoft/Ding et al. use case).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -33,6 +33,28 @@ class Scenario:
     def true_counts(self) -> np.ndarray:
         """Ground-truth ``a[t]`` per period (evaluation only)."""
         return self.states.sum(axis=0)
+
+    def run(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        report_drop_rate: float = 0.0,
+        callback: Optional[Callable] = None,
+    ):
+        """Play the scenario through the batched online engine.
+
+        ``report_drop_rate`` injects the unreliable-network fault model;
+        ``callback`` receives a :class:`repro.sim.engine.StepSnapshot` per
+        period.  Returns a :class:`repro.core.protocol.ProtocolResult`.
+        """
+        # Imported here: repro.sim.runner imports repro.workloads, so a
+        # module-level import would be cyclic at package-init time.
+        from repro.sim.batch_engine import BatchSimulationEngine
+
+        engine = BatchSimulationEngine(
+            self.params, rng=rng, report_drop_rate=report_drop_rate
+        )
+        return engine.run(self.states, callback)
 
 
 def url_tracking_scenario(

@@ -18,6 +18,7 @@ from repro.core.annulus import AnnulusLaw
 
 
 class TestMultiplier:
+    @pytest.mark.slow
     @pytest.mark.parametrize("k", [1, 2, 4, 16, 64, 256])
     @pytest.mark.parametrize("epsilon", [0.25, 1.0])
     def test_calibrated_law_stays_private(self, k, epsilon):
@@ -31,6 +32,7 @@ class TestMultiplier:
         refined = calibrated_law(k, 1.0)
         assert refined.c_gap > 1.5 * paper.c_gap
 
+    @pytest.mark.slow
     def test_multiplier_at_least_one(self):
         for k in (1, 8, 128):
             assert calibration_multiplier(k, 1.0) >= 1.0

@@ -161,6 +161,109 @@ class TestServer:
         assert server.time == 4
         assert server.reports_received == 2
 
+    def test_receive_all_unregistered_user_leaves_clock_untouched(self):
+        """Regression: the emission time of an unregistered user's report must
+        not be computed from a defaulted order — the clock advanced to a wrong
+        time before receive() raised, corrupting server state."""
+        server = Server(8, c_gap=0.5)
+        server.register(0, 2)
+        server.advance_to(4)
+        # user 7 never registered; with the old `.get(user_id, 0)` default the
+        # emission time would read 3 << 0 = 3 (no advance) or, for a larger
+        # index, advance the clock before the KeyError.
+        with pytest.raises(KeyError):
+            server.receive_all([Report(7, order=0, index=6, bit=1)])
+        assert server.time == 4
+        assert server.reports_received == 0
+
+    def test_receive_all_order_mismatch_leaves_clock_untouched(self):
+        """A registered user reporting a different order must be rejected
+        before the clock moves: the emission time computed from the
+        registered order would be wrong for the report."""
+        server = Server(8, c_gap=0.5)
+        server.register(0, 2)
+        server.advance_to(1)
+        with pytest.raises(ValueError):
+            server.receive_all([Report(0, order=0, index=2, bit=1)])
+        assert server.time == 1
+        assert server.reports_received == 0
+
+    def test_receive_all_mixed_batch_stops_before_mutation(self):
+        server = Server(8, c_gap=0.5)
+        server.register(0, 0)
+        good = Report(0, order=0, index=1, bit=1)
+        bad = Report(9, order=0, index=8, bit=1)
+        with pytest.raises(KeyError):
+            server.receive_all([good, bad])
+        # The good report landed (clock at 1); the bad one mutated nothing.
+        assert server.time == 1
+        assert server.reports_received == 1
+
+    def test_receive_batch_accumulates_column_sum(self):
+        server = Server(4, c_gap=0.5)
+        server.advance_to(2)
+        count = server.receive_batch(1, 1, np.array([1, 1, -1, 1], dtype=np.int8))
+        assert count == 4
+        assert server.reports_received == 4
+        # scale = (1 + log2 4) / 0.5 = 6; column sum = 2.
+        assert server.partial_sum_estimate(DyadicInterval(1, 1)) == pytest.approx(
+            6.0 * 2.0
+        )
+
+    def test_receive_batch_matches_individual_receives(self):
+        bits = np.array([1, -1, 1, 1, -1], dtype=np.int8)
+        batched = Server(8, c_gap=0.5)
+        batched.advance_to(4)
+        batched.receive_batch(2, 1, bits)
+        individual = Server(8, c_gap=0.5)
+        for user, bit in enumerate(bits):
+            individual.register(user, 2)
+        individual.advance_to(4)
+        for user, bit in enumerate(bits):
+            individual.receive(Report(user, order=2, index=1, bit=int(bit)))
+        assert batched.estimate(4) == pytest.approx(individual.estimate(4))
+        assert batched.reports_received == individual.reports_received
+
+    def test_receive_batch_respects_online_clock(self):
+        server = Server(8, c_gap=0.5)
+        server.advance_to(2)
+        with pytest.raises(ValueError):
+            server.receive_batch(2, 1, np.array([1], dtype=np.int8))  # time 4 > 2
+
+    def test_receive_batch_validates_inputs(self):
+        server = Server(4, c_gap=0.5)
+        server.advance_to(4)
+        with pytest.raises(ValueError):
+            server.receive_batch(5, 1, np.array([1]))  # order beyond log2 d
+        with pytest.raises(ValueError):
+            server.receive_batch(0, 0, np.array([1]))  # index below 1
+        with pytest.raises(ValueError):
+            server.receive_batch(0, 5, np.array([1]))  # beyond horizon
+        with pytest.raises(ValueError):
+            server.receive_batch(0, 1, np.array([1, 0]))  # bit not in {-1, +1}
+        with pytest.raises(ValueError):
+            server.receive_batch(0, 1, np.ones((2, 2)))  # not 1-D
+
+    def test_receive_batch_empty_is_noop(self):
+        server = Server(4, c_gap=0.5)
+        server.advance_to(4)
+        assert server.receive_batch(0, 1, np.array([], dtype=np.int8)) == 0
+        assert server.reports_received == 0
+
+    def test_all_estimates_matches_per_period_estimates(self):
+        """The vectorized prefix-decomposition path must reproduce the
+        per-period decompose_prefix walk exactly."""
+        server = Server(8, c_gap=0.5)
+        rng_local = np.random.default_rng(0)
+        for t in range(1, 9):
+            server.advance_to(t)
+            for order in range(4):
+                if t % (1 << order) == 0:
+                    bits = rng_local.choice([-1, 1], size=5).astype(np.int8)
+                    server.receive_batch(order, t >> order, bits)
+        expected = np.array([server.estimate(t) for t in range(1, 9)])
+        np.testing.assert_allclose(server.all_estimates(), expected)
+
     def test_duplicate_reports_rejected_by_default(self):
         server = Server(4, c_gap=0.5)
         server.register(0, 1)

@@ -79,6 +79,7 @@ class TestOnlineBehaviour:
 class TestPropertyII:
     """Property II: Pr[out = v] - Pr[out = -v] = c_gap for non-zero inputs."""
 
+    @pytest.mark.slow
     def test_first_nonzero_gap(self, law):
         trials = 40_000
         rng = np.random.default_rng(17)
@@ -90,6 +91,7 @@ class TestPropertyII:
         gap = 2.0 * hits / trials - 1.0
         assert abs(gap - law.c_gap) < 4 * (2.0 / math.sqrt(trials))
 
+    @pytest.mark.slow
     def test_later_nonzero_gap(self, law):
         """Property II must hold at every non-zero position, not just the first."""
         trials = 40_000
@@ -105,6 +107,7 @@ class TestPropertyII:
 
 
 class TestPropertyIII:
+    @pytest.mark.slow
     def test_zero_inputs_uniform(self, law):
         trials = 40_000
         rng = np.random.default_rng(29)
@@ -120,6 +123,7 @@ class TestAgainstExactReportLaw:
     """The online randomizer's full report law must match the closed form
     used by the privacy analysis (Sections 5.3-5.4)."""
 
+    @pytest.mark.slow
     def test_report_law_chi_squared(self):
         law = AnnulusLaw.for_future_rand(k=2, epsilon=1.0)
         length = 4

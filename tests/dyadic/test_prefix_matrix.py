@@ -1,0 +1,108 @@
+"""Tests for the precomputed prefix-decomposition operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dyadic.intervals import DyadicInterval, decompose_prefix
+from repro.dyadic.prefix_matrix import (
+    flat_node_count,
+    flat_offsets,
+    prefix_decomposition_indices,
+    prefix_decomposition_matrix,
+    reconstruct_all_prefixes,
+)
+from repro.dyadic.tree import DyadicTree
+
+
+class TestLayout:
+    def test_flat_node_count(self):
+        assert flat_node_count(1) == 1
+        assert flat_node_count(8) == 15
+
+    def test_offsets_partition_the_flat_vector(self):
+        offsets = flat_offsets(8)
+        assert offsets.tolist() == [0, 8, 12, 14]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            flat_node_count(6)
+
+
+class TestMatrix:
+    @pytest.mark.parametrize("d", [1, 2, 8, 64])
+    def test_rows_match_decompose_prefix(self, d):
+        matrix = prefix_decomposition_matrix(d)
+        offsets = flat_offsets(d)
+        assert matrix.shape == (d, 2 * d - 1)
+        for t in range(1, d + 1):
+            expected = np.zeros(2 * d - 1)
+            for interval in decompose_prefix(t):
+                expected[offsets[interval.order] + interval.index - 1] = 1.0
+            np.testing.assert_array_equal(matrix[t - 1], expected)
+
+    def test_row_weight_is_popcount(self):
+        matrix = prefix_decomposition_matrix(32)
+        for t in range(1, 33):
+            assert matrix[t - 1].sum() == bin(t).count("1")
+
+    def test_matrix_is_cached_and_readonly(self):
+        first = prefix_decomposition_matrix(16)
+        assert prefix_decomposition_matrix(16) is first
+        with pytest.raises(ValueError):
+            first[0, 0] = 5.0
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize("d", [1, 4, 32, 128])
+    def test_matches_per_prefix_walk(self, d):
+        rng = np.random.default_rng(d)
+        flat = rng.normal(size=2 * d - 1)
+        offsets = flat_offsets(d)
+        expected = np.array(
+            [
+                sum(
+                    flat[offsets[i.order] + i.index - 1]
+                    for i in decompose_prefix(t)
+                )
+                for t in range(1, d + 1)
+            ]
+        )
+        np.testing.assert_allclose(reconstruct_all_prefixes(flat, d), expected)
+
+    def test_matches_dense_matrix_product(self):
+        d = 64
+        flat = np.random.default_rng(0).normal(size=2 * d - 1)
+        np.testing.assert_allclose(
+            reconstruct_all_prefixes(flat, d),
+            prefix_decomposition_matrix(d) @ flat,
+        )
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            reconstruct_all_prefixes(np.zeros(5), 8)
+
+    def test_indices_entry_count(self):
+        rows, cols = prefix_decomposition_indices(16)
+        assert rows.size == sum(bin(t).count("1") for t in range(1, 17))
+        assert rows.size == cols.size
+
+
+class TestTreeIntegration:
+    def test_tree_all_prefix_sums_uses_same_layout(self):
+        tree = DyadicTree(8)
+        rng = np.random.default_rng(3)
+        for interval in tree.intervals():
+            tree[interval] = float(rng.normal())
+        expected = np.array([tree.prefix_sum(t) for t in range(1, 9)])
+        np.testing.assert_allclose(tree.all_prefix_sums(), expected)
+
+    def test_flat_values_layout(self):
+        tree = DyadicTree(4)
+        tree[DyadicInterval(0, 3)] = 2.0
+        tree[DyadicInterval(1, 2)] = -1.0
+        tree[DyadicInterval(2, 1)] = 5.0
+        np.testing.assert_array_equal(
+            tree.flat_values(), [0.0, 0.0, 2.0, 0.0, 0.0, -1.0, 5.0]
+        )

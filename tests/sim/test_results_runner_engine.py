@@ -165,6 +165,55 @@ class TestSimulationEngine:
         with pytest.raises(ValueError):
             SimulationEngine(params, report_drop_rate=1.0)
 
+    def test_estimate_bias_scales_with_drop_rate(self):
+        """Each report survives with probability 1 - q, so the (debiased)
+        estimate's expectation shrinks by exactly that factor: the mean final
+        estimate at drop rate q must track (1 - q) * n."""
+        params = ProtocolParams(n=200, d=8, k=1, epsilon=1.0)
+        family = SimpleRandomizerFamily(1, 1.0)
+        states = np.ones((200, 8), dtype=np.int8)
+        trials = 12
+        mean_final = {}
+        for q in (0.0, 0.5, 0.9):
+            finals = [
+                SimulationEngine(
+                    params,
+                    family=family,
+                    rng=np.random.default_rng(1000 * trial + int(q * 10)),
+                    report_drop_rate=q,
+                ).run(states).estimates[-1]
+                for trial in range(trials)
+            ]
+            mean_final[q] = float(np.mean(finals))
+        # Monotone shrinkage towards zero...
+        assert abs(mean_final[0.9]) < abs(mean_final[0.5]) < abs(mean_final[0.0])
+        # ...and proportional to the survival rate, within Monte-Carlo slack.
+        for q in (0.5, 0.9):
+            expected = (1.0 - q) * params.n
+            assert mean_final[q] == pytest.approx(expected, abs=0.35 * params.n)
+
+    def test_reports_this_period_accounts_for_drops(self):
+        """Snapshot report counts must reflect delivery, not emission: without
+        drops the total equals the exact per-order schedule; with drops it
+        falls binomially below it."""
+        params = ProtocolParams(n=300, d=16, k=2, epsilon=1.0)
+        states = np.zeros((300, 16), dtype=np.int8)
+        full_snaps: list[StepSnapshot] = []
+        result = SimulationEngine(params, rng=np.random.default_rng(7)).run(
+            states, full_snaps.append
+        )
+        sent = int((params.d >> result.orders).sum())
+        assert sum(snap.reports_this_period for snap in full_snaps) == sent
+
+        dropped_snaps: list[StepSnapshot] = []
+        dropped_result = SimulationEngine(
+            params, rng=np.random.default_rng(7), report_drop_rate=0.5
+        ).run(states, dropped_snaps.append)
+        dropped_sent = int((params.d >> dropped_result.orders).sum())
+        delivered = sum(snap.reports_this_period for snap in dropped_snaps)
+        # Binomial(sent, 0.5) concentrates well inside (0.4, 0.6) * sent.
+        assert 0.4 * dropped_sent < delivered < 0.6 * dropped_sent
+
     def test_shape_validation(self, rng):
         params = ProtocolParams(n=10, d=8, k=1, epsilon=1.0)
         engine = SimulationEngine(params, rng=rng)

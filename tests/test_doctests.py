@@ -26,6 +26,7 @@ MODULES_WITH_EXAMPLES = [
     "repro.sim.results",
     "repro.sim.runner",
     "repro.sim.engine",
+    "repro.sim.batch_engine",
     "repro.workloads.generators",
     "repro.workloads.streams",
     "repro.extensions.categorical",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from decimal import Decimal, localcontext
 
 import pytest
 from hypothesis import given, settings
@@ -88,11 +89,48 @@ class TestLogSumExp:
         assert peak <= result <= peak + math.log(len(values)) + 1e-9
 
 
+def _signed_sum_reference(
+    pairs: list[tuple[float, float]],
+) -> tuple[Decimal, Decimal]:
+    """High-precision reference for the signed sum ``S = sum(sign * e^log_abs)``.
+
+    Computed with 60-digit ``Decimal`` arithmetic so the reference neither
+    underflows (the float-space naive sum does, e.g. for the pinned
+    counterexample below) nor loses the tiny residue of a near-total
+    cancellation.  Returns ``(S, mass)`` where ``mass = sum(e^log_abs)``.
+    """
+    with localcontext() as context:
+        context.prec = 60
+        total = Decimal(0)
+        mass = Decimal(0)
+        for log_abs, sign in pairs:
+            term = Decimal(log_abs).exp()
+            total += Decimal(sign) * term
+            mass += term
+        return total, mass
+
+
 class TestLogSumExpPairs:
     def test_cancellation_to_zero(self):
         log_abs, sign = logsumexp_pairs([(0.0, 1.0), (0.0, -1.0)])
         assert sign == 0.0
         assert log_abs == LOG_ZERO
+
+    def test_underflow_counterexample_regression(self):
+        # Shrunk hypothesis counterexample: the naive float-space reference
+        # sum e^{4.49e-34} - e^0 underflows to exactly 0.0, while the
+        # log-space path correctly resolves log|S| = log(4.49e-34) ~ -76.8.
+        pairs = [(0.0, -1.0), (4.49e-34, 1.0)]
+        log_abs, sign = logsumexp_pairs(pairs)
+        assert sign == 1.0
+        assert log_abs == pytest.approx(math.log(4.49e-34), rel=1e-12)
+
+    def test_equal_mass_cancellation_contract(self):
+        # The documented contract: when the positive and negative logsumexp
+        # reductions agree to float precision, the sum is reported as an
+        # exact zero even though the true sum is a few ulps of the mass.
+        pairs = [(0.0, 1.0), (0.0, 1.0), (math.log(2.0), -1.0)]
+        assert logsumexp_pairs(pairs) == (LOG_ZERO, 0.0)
 
     def test_positive_dominates(self):
         log_abs, sign = logsumexp_pairs([(1.0, 1.0), (0.0, -1.0)])
@@ -119,18 +157,27 @@ class TestLogSumExpPairs:
         )
     )
     def test_matches_naive_signed_sum(self, pairs):
-        total = sum(sign * math.exp(log_abs) for log_abs, sign in pairs)
+        total, mass = _signed_sum_reference(pairs)
         log_abs, sign = logsumexp_pairs(pairs)
-        peak = max(math.exp(p[0]) for p in pairs)
         if sign == 0.0:
-            assert abs(total) <= 1e-6 * peak
+            # Documented contract: a reported exact zero means the positive
+            # and negative reductions agreed to float precision, so the true
+            # sum is at most a few ulps of the total mass.
+            assert abs(total) <= Decimal("1e-12") * mass
+        elif total == 0:
+            # The reference cancels exactly but float rounding inside the two
+            # logsumexp reductions (e.g. different summation orders) left a
+            # residue; it must be ulp-sized relative to the mass.
+            assert math.exp(log_abs) <= 1e-12 * float(mass)
         else:
-            assert sign == math.copysign(1.0, total)
+            assert sign == (1.0 if total > 0 else -1.0)
             # Near-total cancellation amplifies relative error by the
-            # condition number peak/|total|; tolerate accordingly.
-            condition = peak / abs(total) if total != 0 else math.inf
-            tolerance = max(1e-9, 1e-12 * condition)
-            assert math.exp(log_abs) == pytest.approx(abs(total), rel=tolerance)
+            # condition number mass/|total|; tolerate accordingly.
+            condition = float(mass / abs(total))
+            tolerance = max(1e-9, 1e-13 * condition)
+            assert math.exp(log_abs) == pytest.approx(
+                float(abs(total)), rel=tolerance
+            )
 
 
 class TestLog1mExp:
