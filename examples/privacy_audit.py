@@ -15,7 +15,6 @@ Run:  python examples/privacy_audit.py
 
 from __future__ import annotations
 
-import math
 
 from repro.analysis.privacy import client_report_log_ratio
 from repro.core.annulus import AnnulusLaw

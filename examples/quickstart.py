@@ -1,30 +1,25 @@
 """Quickstart: track a Boolean population privately for 64 time periods.
 
-Demonstrates the minimal end-to-end flow of the library:
+Demonstrates the minimal end-to-end flow of the library, through the unified
+protocol registry (``repro.protocols``):
 
 1. pick protocol parameters,
 2. generate (or bring) a population whose users change at most ``k`` times,
-3. run the FutureRand protocol,
+3. look the FutureRand protocol up by name and run it one-shot,
 4. compare the online estimates against the ground truth and against the
-   theoretical error radius.
+   theoretical error radius,
+5. replay the last periods through the *streaming* Session API — the
+   deployment shape, one population column per period.
 
 Local LDP error scales like ``sqrt(n)`` with a ``(1 + log2 d)/c_gap`` constant
 of a few hundred, so — exactly as in industrial deployments — a population in
 the millions is needed before the signal dominates the noise.  The vectorized
-driver handles that comfortably.
+driver behind ``get_protocol("future_rand").run`` handles that comfortably.
 
-Picking a driver — three interchangeable options, same distribution of
-outputs (the randomizer kernels are shared):
-
-* ``repro.core.vectorized.run_batch`` (used below) — offline batch: fastest
-  way to get all ``d`` estimates at once; no per-period hooks.
-* ``repro.sim.BatchSimulationEngine`` — *online* batch: replays the protocol
-  period by period with per-period ``StepSnapshot`` callbacks and report-drop
-  fault injection, still vectorized across the population.  Use it for live
-  monitoring or robustness studies at scale.
-* ``repro.sim.SimulationEngine`` — object engine: one Python ``Client`` per
-  user; the deployment-shaped reference, ~2 orders of magnitude slower.
-  Use it to exercise per-user mechanics, not for large populations.
+Every mechanism in the repository is available the same way: run
+``python -m repro.cli protocols`` for the registry listing, and swap the
+name below (``"erlingsson"``, ``"memoization"``, ``"central_tree"``, ...) to
+compare — same populations, same API.
 
 Run:  python examples/quickstart.py
 """
@@ -33,8 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ProtocolParams, run_batch
+from repro import ProtocolParams
 from repro.analysis.bounds import hoeffding_radius, theorem41_error_bound
+from repro.protocols import get_protocol
 from repro.workloads import BoundedChangePopulation
 
 
@@ -46,7 +42,8 @@ def main() -> None:
     population = BoundedChangePopulation(params.d, params.k, start_prob=0.3)
     states = population.sample(params.n, np.random.default_rng(0))
 
-    result = run_batch(states, params, np.random.default_rng(1))
+    protocol = get_protocol("future_rand")
+    result = protocol.run(states, params, np.random.default_rng(1))
 
     radius = hoeffding_radius(params, result.c_gap, params.beta / params.d)
     print(f"population:             n={params.n:,}, d={params.d}, k={params.k}")
@@ -62,6 +59,22 @@ def main() -> None:
         true = result.true_counts[t - 1]
         estimate = result.estimates[t - 1]
         print(f"{t:4d}   {true:11,.0f}  {estimate:11,.0f}  {estimate - true:+10,.0f}")
+
+    # The same protocol, streaming: feed one period's column at a time and
+    # read each estimate the moment its period closes.  (A smaller population
+    # keeps this demo loop quick; the distribution of outputs is identical.)
+    print()
+    print("streaming the first 8 periods of a 100k-user fleet:")
+    small = ProtocolParams(n=100_000, d=64, k=2, epsilon=1.0)
+    fleet = population.sample(small.n, np.random.default_rng(2))
+    session = protocol.prepare(small, np.random.default_rng(3))
+    for t in range(1, small.d + 1):
+        session.ingest(t, fleet[:, t - 1])
+        if t <= 8:
+            released = session.estimates()[-1]
+            true = fleet[:, t - 1].sum()
+            print(f"  t={t}  estimate={released:10,.0f}  true={true:7,d}")
+    print(f"final max |error|: {session.result().max_abs_error:,.0f} users")
 
 
 if __name__ == "__main__":

@@ -12,18 +12,26 @@ with every substrate and baseline needed to reproduce the paper's claims:
   randomizer, central-model tree mechanism, offline hash sketch),
 * workload generators, a simulation engine and an experiment registry.
 
-Quickstart::
+Quickstart — every mechanism is discoverable by name through the protocol
+registry (:mod:`repro.protocols`), one-shot or streaming::
 
     import numpy as np
-    from repro import ProtocolParams, run_batch
+    from repro import ProtocolParams
+    from repro.protocols import get_protocol
     from repro.workloads import BoundedChangePopulation
 
     params = ProtocolParams(n=10_000, d=256, k=4, epsilon=1.0)
     states = BoundedChangePopulation(params.d, params.k).sample(
         params.n, np.random.default_rng(0)
     )
-    result = run_batch(states, params, np.random.default_rng(1))
+    protocol = get_protocol("future_rand")       # or "erlingsson", ...
+    result = protocol.run(states, params, np.random.default_rng(1))
     print(result.max_abs_error)
+
+    session = protocol.prepare(params, np.random.default_rng(2))
+    for t in range(1, params.d + 1):             # deployment shape: one
+        session.ingest(t, states[:, t - 1])      # period at a time
+    print(session.result().max_abs_error)
 """
 
 from repro.core import (

@@ -23,7 +23,6 @@ import numpy as np
 
 from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult
-from repro.dyadic.intervals import DyadicInterval, decompose_prefix
 from repro.dyadic.tree import DyadicTree
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_power_of_two

@@ -27,7 +27,6 @@ variance for composition overhead.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

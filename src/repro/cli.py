@@ -1,10 +1,14 @@
-"""Command-line interface: run experiments and inspect protocol constants.
+"""Command-line interface: run experiments, protocols, inspect constants.
 
 Usage::
 
     repro list                      # show every experiment and its claim
     repro run E2 --scale small      # run one experiment, print its table
     repro run all --scale full      # regenerate everything (EXPERIMENTS.md)
+    repro protocols                 # list the protocol registry
+    repro protocols --online --privacy-model local
+    repro run-protocol erlingsson --n 10000 --d 64 --k 4
+    repro run-protocol future_rand --streaming   # drive the Session API
     repro cgap --k 64 --epsilon 1.0 # print exact randomizer constants
 """
 
@@ -18,6 +22,7 @@ from typing import Optional, Sequence
 
 from repro.core.annulus import AnnulusLaw
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.protocols import PROTOCOLS, get_protocol, list_protocols
 
 __all__ = ["main", "build_parser"]
 
@@ -66,13 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_parser.add_argument(
         "--protocol",
-        choices=(
-            "future_rand",
-            "erlingsson",
-            "naive_split",
-            "offline_tree",
-            "central_tree",
-        ),
+        choices=sorted(PROTOCOLS),
         default="future_rand",
     )
     simulate_parser.add_argument("--n", type=int, default=100_000)
@@ -84,6 +83,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--consistency",
         action="store_true",
         help="apply WLS tree-consistency post-processing (future_rand only)",
+    )
+
+    protocols_parser = subparsers.add_parser(
+        "protocols", help="list the protocol registry and its capabilities"
+    )
+    release_group = protocols_parser.add_mutually_exclusive_group()
+    release_group.add_argument(
+        "--online", action="store_true", help="only online-capable protocols"
+    )
+    release_group.add_argument(
+        "--offline", action="store_true", help="only offline protocols"
+    )
+    protocols_parser.add_argument(
+        "--privacy-model", choices=("local", "central"), default=None,
+        help="filter by privacy model",
+    )
+    protocols_parser.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+
+    run_protocol_parser = subparsers.add_parser(
+        "run-protocol", help="run one registered protocol on a generated workload"
+    )
+    run_protocol_parser.add_argument("name", choices=sorted(PROTOCOLS))
+    run_protocol_parser.add_argument("--n", type=int, default=100_000)
+    run_protocol_parser.add_argument("--d", type=int, default=256)
+    run_protocol_parser.add_argument("--k", type=int, default=4)
+    run_protocol_parser.add_argument("--epsilon", type=float, default=1.0)
+    run_protocol_parser.add_argument("--seed", type=int, default=0)
+    run_protocol_parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="drive the streaming Session API period by period (prints the "
+        "online estimate trajectory)",
     )
     return parser
 
@@ -175,20 +208,7 @@ def _command_simulate(
     else:
         if consistency:
             raise SystemExit("--consistency is only supported for future_rand")
-        from repro.baselines import (
-            run_central_tree,
-            run_erlingsson,
-            run_naive_split,
-            run_offline_tree,
-        )
-
-        runner = {
-            "erlingsson": run_erlingsson,
-            "naive_split": run_naive_split,
-            "offline_tree": run_offline_tree,
-            "central_tree": run_central_tree,
-        }[protocol]
-        result = runner(states, params, protocol_rng)
+        result = get_protocol(protocol).run(states, params, protocol_rng)
 
     radius = hoeffding_radius(params, result.c_gap, params.beta / params.d)
     print(f"protocol:     {result.family_name}")
@@ -196,6 +216,97 @@ def _command_simulate(
     print(f"max |error|:  {result.max_abs_error:,.1f}  ({result.max_abs_error / n:.2%} of n)")
     print(f"mean |error|: {result.mean_abs_error:,.1f}")
     print(f"Eq.13 radius: {radius:,.1f}")
+    return 0
+
+
+def _command_protocols(
+    online_only: bool,
+    offline_only: bool,
+    privacy_model: Optional[str],
+    as_json: bool,
+) -> int:
+    from repro.sim.results import ResultTable
+
+    online: Optional[bool] = None
+    if online_only:
+        online = True
+    elif offline_only:
+        online = False
+    names = list_protocols(online=online, privacy_model=privacy_model)
+    listing = [PROTOCOLS[name].capabilities() for name in sorted(names)]
+    if as_json:
+        print(json.dumps(listing, indent=2))
+        return 0
+    table = ResultTable(
+        title=f"Protocol registry ({len(listing)} of {len(PROTOCOLS)} protocols)",
+        columns=["name", "privacy_model", "online", "sequence_ldp", "description"],
+    )
+    for row in listing:
+        table.add_row(
+            name=row["name"],
+            privacy_model=row["privacy_model"],
+            online="yes" if row["online"] else "no",
+            sequence_ldp="yes" if row["sequence_ldp"] else "NO",
+            description=row["description"],
+        )
+    print(table.to_markdown())
+    return 0
+
+
+def _command_run_protocol(
+    name: str,
+    n: int,
+    d: int,
+    k: int,
+    epsilon: float,
+    seed: int,
+    streaming: bool,
+) -> int:
+    import numpy as np
+
+    from repro.core.params import ProtocolParams
+    from repro.utils.rng import spawn_generators
+    from repro.workloads.generators import BoundedChangePopulation
+
+    params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+    workload_rng, protocol_rng = spawn_generators(np.random.SeedSequence(seed), 2)
+    states = BoundedChangePopulation(d, k, start_prob=0.3).sample(n, workload_rng)
+    protocol = get_protocol(name)
+
+    if streaming:
+        session = protocol.prepare(params, protocol_rng)
+        checkpoints = {max(1, (d * i) // 8) for i in range(1, 9)}
+        print(f"streaming {name} over {d} periods (n={n:,})")
+        if not protocol.online:
+            print(
+                f"  ({name} is offline: estimates are released only after "
+                f"the full horizon)"
+            )
+        for t in range(1, d + 1):
+            session.ingest(t, states[:, t - 1])
+            if t in checkpoints and protocol.online:
+                estimate = session.estimates()[-1]
+                true = states[:, t - 1].sum()
+                print(
+                    f"  t={t:5d}  estimate={estimate:12,.0f}  "
+                    f"true={true:10,d}  error={estimate - true:+10,.0f}"
+                )
+        result = session.result()
+    else:
+        result = protocol.run(states, params, protocol_rng)
+
+    print(f"protocol:     {name} ({result.family_name})")
+    print(
+        f"capabilities: privacy_model={protocol.privacy_model} "
+        f"online={protocol.online} sequence_ldp={protocol.sequence_ldp}"
+    )
+    print(f"parameters:   n={n:,} d={d} k={k} epsilon={epsilon}")
+    print(
+        f"max |error|:  {result.max_abs_error:,.1f}  "
+        f"({result.max_abs_error / n:.2%} of n)"
+    )
+    print(f"mean |error|: {result.mean_abs_error:,.1f}")
+    print(f"exp. bits/user: {protocol.expected_report_bits(params):,.1f}")
     return 0
 
 
@@ -222,6 +333,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.epsilon,
             args.seed,
             args.consistency,
+        )
+    if args.command == "protocols":
+        return _command_protocols(
+            args.online, args.offline, args.privacy_model, args.json
+        )
+    if args.command == "run-protocol":
+        return _command_run_protocol(
+            args.name,
+            args.n,
+            args.d,
+            args.k,
+            args.epsilon,
+            args.seed,
+            args.streaming,
         )
     parser.error(f"unknown command {args.command!r}")
     return 2

@@ -15,7 +15,7 @@ The server is *online*: ``estimate(t)`` only uses reports whose emission time
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

@@ -14,7 +14,7 @@ table.
 
 from __future__ import annotations
 
-from repro.dyadic.intervals import DyadicInterval, decompose_prefix, interval_set
+from repro.dyadic.intervals import decompose_prefix, interval_set
 from repro.dyadic.partial_sums import all_partial_sums
 from repro.sim.results import ResultTable
 

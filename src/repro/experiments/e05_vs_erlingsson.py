@@ -6,16 +6,20 @@ while Erlingsson et al.'s grows ~k, so their ratio grows ~sqrt(k) and
 FutureRand wins beyond a constant-size crossover (ours lands at k ~ 12 for
 epsilon = 1; constants — not asymptotics — decide the small-k regime, which
 EXPERIMENTS.md discusses).
+
+Both protocols are looked up in the :mod:`repro.protocols` registry by name;
+``sweep`` resolves them, so this experiment carries no protocol wiring of
+its own.
 """
 
 from __future__ import annotations
 
 from repro.analysis.accuracy import fit_power_law
-from repro.baselines.erlingsson import run_erlingsson
 from repro.core.params import ProtocolParams
-from repro.core.vectorized import run_batch
-from repro.sim.runner import sweep
 from repro.sim.results import ResultTable
+from repro.sim.runner import sweep
+
+_PROTOCOLS = ("future_rand", "erlingsson")
 
 _SCALES = {
     "small": {"n": 4000, "d": 64, "eps": 1.0, "ks": [2, 8, 32], "trials": 3},
@@ -30,7 +34,7 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         n=config["n"], d=config["d"], k=max(config["ks"]), epsilon=config["eps"]
     )
     raw = sweep(
-        {"future_rand": run_batch, "erlingsson2020": run_erlingsson},
+        list(_PROTOCOLS),
         params,
         "k",
         config["ks"],
@@ -44,21 +48,21 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
 
     table = ResultTable(
         title="E5: FutureRand vs Erlingsson et al. across k (sqrt(k) vs k)",
-        columns=["k", "future_rand", "erlingsson2020", "ratio_erl_over_fr", "winner"],
+        columns=["k", "future_rand", "erlingsson", "ratio_erl_over_fr", "winner"],
     )
     ks = sorted(by_protocol["future_rand"])
     for k in ks:
         ours = by_protocol["future_rand"][k]
-        theirs = by_protocol["erlingsson2020"][k]
+        theirs = by_protocol["erlingsson"][k]
         table.add_row(
             k=k,
             future_rand=ours,
-            erlingsson2020=theirs,
+            erlingsson=theirs,
             ratio_erl_over_fr=theirs / ours,
-            winner="future_rand" if ours < theirs else "erlingsson2020",
+            winner="future_rand" if ours < theirs else "erlingsson",
         )
     our_exp, _ = fit_power_law(ks, [by_protocol["future_rand"][k] for k in ks])
-    their_exp, _ = fit_power_law(ks, [by_protocol["erlingsson2020"][k] for k in ks])
+    their_exp, _ = fit_power_law(ks, [by_protocol["erlingsson"][k] for k in ks])
     table.notes = (
         f"fitted k-exponents: future_rand {our_exp:.3f} (theory 0.5), "
         f"erlingsson {their_exp:.3f} (theory 1.0); the error ratio grows "

@@ -16,7 +16,6 @@ in its own right: a sharper calibration could buy back constant-factor utility.
 
 from __future__ import annotations
 
-import math
 
 from repro.analysis.privacy import client_report_log_ratio
 from repro.core.annulus import AnnulusLaw

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import math
 
-from repro.baselines.bun_composed import bun_annulus_law, select_bun_parameters
-from repro.core.annulus import AnnulusLaw
+from repro.baselines.bun_composed import select_bun_parameters
+from repro.core.params import ProtocolParams
+from repro.protocols import get_protocol
 from repro.sim.results import ResultTable
 
 _SCALES = {
@@ -38,15 +39,22 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
             "bun_eps_tilde",
         ],
     )
+    # Both mechanisms' exact gaps come from their registry adapters — the
+    # same objects every other consumer runs — so the comparison can never
+    # drift from the deployed calibrations.
+    future_rand = get_protocol("future_rand")
+    bun = get_protocol("bun_composed")
     for k in config["ks"]:
-        ours = AnnulusLaw.for_future_rand(k, epsilon).c_gap
-        bun_law = bun_annulus_law(k, epsilon)
+        # The gaps depend only on (k, epsilon); d just has to admit k changes.
+        params = ProtocolParams(n=1, d=max(2, 1 << (k - 1).bit_length()), k=k, epsilon=epsilon)
+        ours = future_rand.c_gap(params)
+        theirs = bun.c_gap(params)
         lam, eps_tilde = select_bun_parameters(k, epsilon)
         table.add_row(
             k=k,
             cgap_future_rand=ours,
-            cgap_bun=bun_law.c_gap,
-            advantage_ratio=ours / bun_law.c_gap,
+            cgap_bun=theirs,
+            advantage_ratio=ours / theirs,
             predicted_sqrt_log=math.sqrt(math.log(max(k / epsilon, math.e))),
             bun_lambda=lam,
             bun_eps_tilde=eps_tilde,

@@ -14,28 +14,25 @@ horizon grows (Section 1's motivation + Section 6's related-work map):
 
 from __future__ import annotations
 
-from repro.baselines.central import run_central_tree
-from repro.baselines.erlingsson import run_erlingsson
-from repro.baselines.naive import run_naive_split, run_naive_unsplit
-from repro.baselines.offline_tree import run_offline_tree
 from repro.core.params import ProtocolParams
-from repro.core.vectorized import run_batch
-from repro.sim.runner import sweep
 from repro.sim.results import ResultTable
+from repro.sim.runner import sweep
 
 _SCALES = {
     "small": {"n": 3000, "k": 4, "eps": 1.0, "ds": [16, 64], "trials": 2},
     "full": {"n": 20000, "k": 8, "eps": 1.0, "ds": [16, 64, 256, 1024], "trials": 4},
 }
 
-_RUNNERS = {
-    "future_rand": run_batch,
-    "erlingsson2020": run_erlingsson,
-    "naive_split": run_naive_split,
-    "naive_unsplit(NOT eps-LDP)": run_naive_unsplit,
-    "offline_tree": run_offline_tree,
-    "central_tree": run_central_tree,
-}
+#: Registry names, resolved by ``sweep``; the landscape covers one protocol
+#: per related-work family (E10's map of Section 6).
+_PROTOCOLS = (
+    "future_rand",
+    "erlingsson",
+    "naive_split",
+    "naive_unsplit",
+    "offline_tree",
+    "central_tree",
+)
 
 
 def run(scale: str = "small", seed: int = 0) -> ResultTable:
@@ -45,7 +42,7 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         n=config["n"], d=max(config["ds"]), k=config["k"], epsilon=config["eps"]
     )
     raw = sweep(
-        _RUNNERS,
+        list(_PROTOCOLS),
         params,
         "d",
         config["ds"],
@@ -59,12 +56,12 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
 
     table = ResultTable(
         title="E10: protocol landscape — mean max error vs horizon d",
-        columns=["d", *list(_RUNNERS)],
+        columns=["d", *_PROTOCOLS],
         notes=(
             "Expected shape: naive_split grows ~linearly in d; future_rand and "
             "erlingsson grow polylogarithmically; central_tree is smallest "
-            "(no sqrt(n) factor); naive_unsplit is accurate but spends d*eps "
-            "privacy budget."
+            "(no sqrt(n) factor); naive_unsplit is accurate but NOT eps-LDP "
+            "(it spends d*eps privacy budget; see `repro protocols`)."
         ),
     )
     for d in sorted(by_d):

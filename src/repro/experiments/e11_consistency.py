@@ -33,7 +33,6 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         title="E11 (ablation): raw tree vs WLS-consistent tree",
         columns=["d", "raw_max_abs", "consistent_max_abs", "improvement"],
     )
-    root = np.random.SeedSequence(seed)
     for d_index, d in enumerate(config["ds"]):
         params = ProtocolParams(
             n=config["n"], d=d, k=config["k"], epsilon=config["eps"]

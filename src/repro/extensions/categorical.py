@@ -24,7 +24,6 @@ import numpy as np
 
 from repro.core.future_rand import FutureRandFamily
 from repro.core.interfaces import RandomizerFamily
-from repro.core.params import ProtocolParams
 from repro.core.vectorized import group_partial_sums
 from repro.dyadic.intervals import decompose_prefix
 from repro.utils.rng import as_generator

@@ -1,8 +1,9 @@
 """Repeated-trial execution and parameter sweeps.
 
 A *protocol runner* is any callable ``(states, params, rng) -> ProtocolResult``
-— the FutureRand drivers and every baseline share this signature.  The runner
-utilities here layer reproducible repetition and sweeping on top:
+— the FutureRand drivers and every baseline share this signature, and every
+:class:`repro.protocols.LongitudinalProtocol` instance satisfies it.  The
+runner utilities here layer reproducible repetition and sweeping on top:
 
 * :func:`run_trials` — independent repetitions with spawned seeds, returning
   mean/std/extremes of each error metric;
@@ -10,22 +11,26 @@ utilities here layer reproducible repetition and sweeping on top:
   regenerate the workload per point, and tabulate the results — the engine
   behind experiments E2–E5 and E10.
 
-Both accept ``None`` in place of the runner(s) and default to the batched
-online engine (:func:`repro.sim.batch_engine.run_batch_engine`), the fastest
-full-fidelity driver.
+Both accept, in place of a runner: ``None`` (defaults to the batched online
+engine, the fastest full-fidelity FutureRand driver), a registry name such
+as ``"erlingsson"`` (resolved through :mod:`repro.protocols`), a protocol
+instance, or the historical plain callable.  ``sweep`` additionally accepts
+a sequence of names/protocols — ``sweep(["future_rand", "erlingsson"], ...)``
+— alongside the historical ``{name: runner}`` dict.
 """
 
 from __future__ import annotations
 
-import math
+import zlib
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol, Sequence
+from typing import Callable, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.accuracy import summarize_errors
 from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult
+from repro.protocols.registry import ProtocolLike, resolve_runner
 from repro.sim.batch_engine import run_batch_engine
 from repro.sim.results import ResultTable
 from repro.utils.rng import spawn_generators
@@ -71,22 +76,29 @@ class TrialStatistics:
 
 
 def run_trials(
-    runner: Optional[ProtocolRunner],
+    runner: Optional[ProtocolLike],
     states: np.ndarray,
     params: ProtocolParams,
     *,
     trials: int = 5,
-    seed: Optional[int] = None,
+    seed: Union[None, int, np.random.SeedSequence] = None,
 ) -> TrialStatistics:
     """Run ``runner`` repeatedly on the same workload with independent seeds.
 
-    ``runner=None`` selects the batched online engine.
+    ``runner`` may be ``None`` (the batched online engine), a registry name
+    such as ``"memoization"``, a protocol instance, or a plain callable.
+    ``seed`` may be an ``int`` or a ``SeedSequence`` (the latter lets callers
+    hand down a node of their own spawn tree for end-to-end reproducibility).
     """
     if runner is None:
         runner = run_batch_engine
+    else:
+        _, runner = resolve_runner(runner)
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
-    generators = spawn_generators(np.random.SeedSequence(seed), trials)
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    generators = spawn_generators(seed, trials)
     max_errors = []
     maes = []
     rmses = []
@@ -113,8 +125,38 @@ def _default_workload(params: ProtocolParams, rng: np.random.Generator) -> np.nd
     return population.sample(params.n, rng)
 
 
+def _normalize_runners(
+    runners: Union[None, ProtocolLike, Sequence[ProtocolLike], dict[str, ProtocolLike]],
+) -> dict[str, Callable]:
+    """Coerce every accepted runner specification into ``{name: callable}``."""
+    if runners is None:
+        return {"future_rand": run_batch_engine}
+    if isinstance(runners, dict):
+        return {
+            name: resolve_runner(spec)[1] for name, spec in runners.items()
+        }
+    if isinstance(runners, str) or not isinstance(runners, Sequence):
+        runners = [runners]
+    normalized: dict[str, Callable] = {}
+    for spec in runners:
+        name, runner = resolve_runner(spec)
+        if name in normalized:
+            raise ValueError(f"duplicate runner name {name!r} in sweep")
+        normalized[name] = runner
+    return normalized
+
+
+def _stable_name_key(name: str) -> int:
+    """Process-stable integer fingerprint of a runner name.
+
+    ``hash(str)`` is salted per interpreter process, which silently broke
+    sweep reproducibility across runs; CRC32 is deterministic everywhere.
+    """
+    return zlib.crc32(name.encode("utf-8"))
+
+
 def sweep(
-    runners: Optional[dict[str, ProtocolRunner]],
+    runners: Union[None, ProtocolLike, Sequence[ProtocolLike], dict[str, ProtocolLike]],
     base_params: ProtocolParams,
     parameter: str,
     values: Sequence[float],
@@ -130,16 +172,21 @@ def sweep(
 
     For each value the workload is regenerated (same seed stream, so runners
     at the same sweep point see the same population) and each runner executes
-    ``trials`` independent repetitions.  ``runners=None`` selects the batched
-    online engine under the name ``"future_rand"``.
+    ``trials`` independent repetitions.  ``runners`` may be ``None`` (the
+    batched online engine under the name ``"future_rand"``), a single
+    protocol name/instance/callable, a sequence of those (named after each
+    protocol), or the historical ``{name: runner}`` dict.
+
+    All trial seeds descend from the root ``SeedSequence`` spawn tree, keyed
+    by sweep position and a process-stable fingerprint of the runner name —
+    two same-seed sweeps produce identical tables, in any process.
 
     >>> params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
     >>> table = sweep(None, params, "k", [1, 2], trials=1, seed=0)
     >>> table.column("k")
     [1.0, 2.0]
     """
-    if runners is None:
-        runners = {"future_rand": run_batch_engine}
+    runners = _normalize_runners(runners)
     if parameter not in ("n", "d", "k", "epsilon"):
         raise ValueError(f"cannot sweep {parameter!r}; pick one of n/d/k/epsilon")
     if not values:
@@ -151,17 +198,21 @@ def sweep(
     )
     root = np.random.SeedSequence(seed)
     workload_rngs = spawn_generators(root, len(values))
-    trial_seed_base = root.spawn(1)[0]
+    trial_base = root.spawn(1)[0]
     for position, value in enumerate(values):
         cast = float(value) if parameter == "epsilon" else int(value)
         params = base_params.with_updates(**{parameter: cast})
         states = make_states(params, workload_rngs[position])
         for name, runner in runners.items():
-            entropy = int(
-                np.random.default_rng(trial_seed_base).integers(0, 2**31)
-            ) + hash((name, position)) % (2**31)
+            # One spawn-tree node per (sweep point, runner): deterministic,
+            # independent of dict iteration order and of the process hash salt.
+            trial_seed = np.random.SeedSequence(
+                entropy=trial_base.entropy,
+                spawn_key=trial_base.spawn_key
+                + (position, _stable_name_key(name)),
+            )
             statistics = run_trials(
-                runner, states, params, trials=trials, seed=entropy
+                runner, states, params, trials=trials, seed=trial_seed
             )
             table.add_row(
                 **{parameter: float(value)},

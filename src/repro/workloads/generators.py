@@ -7,7 +7,6 @@ collection problem (Section 2).  Generators return ``(n, d)`` int8 matrices.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 import numpy as np

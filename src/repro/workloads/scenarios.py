@@ -9,13 +9,16 @@ platforms tracking feature flags (the Microsoft/Ding et al. use case).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
 from repro.core.params import ProtocolParams
 from repro.utils.rng import as_generator
 from repro.workloads.generators import BoundedChangePopulation, TrendPopulation
+
+if TYPE_CHECKING:  # runtime import would be cyclic at package-init time
+    from repro.protocols import ProtocolLike
 
 __all__ = ["Scenario", "url_tracking_scenario", "telemetry_fleet_scenario"]
 
@@ -38,23 +41,68 @@ class Scenario:
         self,
         rng: Optional[np.random.Generator] = None,
         *,
+        protocol: Optional["ProtocolLike"] = None,
         report_drop_rate: float = 0.0,
         callback: Optional[Callable] = None,
     ):
-        """Play the scenario through the batched online engine.
+        """Play the scenario through any registered protocol.
 
-        ``report_drop_rate`` injects the unreliable-network fault model;
+        ``protocol`` is a :mod:`repro.protocols` registry name or a
+        :class:`~repro.protocols.LongitudinalProtocol` instance; ``None``
+        (the default) selects ``"future_rand"`` through the batched online
+        engine, exactly as before.  ``report_drop_rate`` injects the
+        unreliable-network fault model (engine-backed FutureRand only);
         ``callback`` receives a :class:`repro.sim.engine.StepSnapshot` per
-        period.  Returns a :class:`repro.core.protocol.ProtocolResult`.
+        period — for non-default protocols it is served by driving the
+        protocol's streaming session, so it requires an online protocol.
+        Returns a :class:`repro.core.protocol.ProtocolResult`.
         """
         # Imported here: repro.sim.runner imports repro.workloads, so a
         # module-level import would be cyclic at package-init time.
+        from repro.protocols import resolve_runner
         from repro.sim.batch_engine import BatchSimulationEngine
 
-        engine = BatchSimulationEngine(
-            self.params, rng=rng, report_drop_rate=report_drop_rate
-        )
-        return engine.run(self.states, callback)
+        if protocol is None:
+            name, runner = "future_rand", None
+        else:
+            name, runner = resolve_runner(protocol)
+        if name == "future_rand":
+            # Engine-backed fast path: the one surface with fault injection.
+            engine = BatchSimulationEngine(
+                self.params, rng=rng, report_drop_rate=report_drop_rate
+            )
+            return engine.run(self.states, callback)
+        if report_drop_rate:
+            raise ValueError(
+                "report_drop_rate is only supported by the engine-backed "
+                "future_rand protocol"
+            )
+        if callback is None:
+            return runner(self.states, self.params, rng)
+        return self._run_streaming(name, runner, rng, callback)
+
+    def _run_streaming(self, name, runner, rng, callback):
+        """Drive a protocol's streaming session, emitting per-period snapshots."""
+        from repro.protocols import LongitudinalProtocol
+        from repro.sim.engine import StepSnapshot
+
+        if not isinstance(runner, LongitudinalProtocol) or not runner.online:
+            raise ValueError(
+                f"per-period callbacks require an online registered protocol; "
+                f"{name!r} does not support them"
+            )
+        session = runner.prepare(self.params, rng)
+        for t in range(1, self.params.d + 1):
+            delivered = session.ingest(t, self.states[:, t - 1])
+            callback(
+                StepSnapshot(
+                    t=t,
+                    estimate=float(session.estimates()[-1]),
+                    true_count=int(self.states[:, t - 1].sum()),
+                    reports_this_period=delivered,
+                )
+            )
+        return session.result()
 
 
 def url_tracking_scenario(

@@ -298,7 +298,6 @@ class TestClientServerLoop:
         speed."""
         n, d = 300, 8
         family = SimpleRandomizerFamily(k=1, epsilon=1.0)
-        states = np.ones((n, d), dtype=np.int8)
         estimates = []
         for trial in range(30):
             rng = np.random.default_rng(1000 + trial)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.annulus import AnnulusLaw
 from repro.core.client import Client

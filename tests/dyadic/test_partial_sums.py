@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dyadic.intervals import DyadicInterval, decompose_prefix, interval_set
+from repro.dyadic.intervals import DyadicInterval, interval_set
 from repro.dyadic.partial_sums import (
     all_partial_sums,
     partial_sum,

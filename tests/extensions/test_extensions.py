@@ -5,10 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.client import Client, Report
-from repro.core.params import ProtocolParams
 from repro.core.server import Server
-from repro.core.simple_randomizer import SimpleRandomizerFamily
 from repro.extensions.categorical import CategoricalLongitudinalProtocol
 from repro.extensions.heavy_hitters import (
     HeavyHitterTracker,
@@ -160,7 +157,6 @@ class TestRangeQueries:
         estimates touch up to 2 log2(d)."""
         from repro.dyadic.intervals import decompose_prefix, decompose_range
 
-        d = 256
         t = 255
         window_nodes = len(decompose_range(t - 1, t))
         prefix_nodes = len(decompose_prefix(t)) + len(decompose_prefix(t - 2))

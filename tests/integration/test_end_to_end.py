@@ -3,11 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.bounds import hoeffding_radius
 from repro.baselines.erlingsson import run_erlingsson
-from repro.core.params import ProtocolParams
 from repro.core.protocol import run_online
 from repro.core.vectorized import run_batch
 from repro.extensions.categorical import CategoricalLongitudinalProtocol

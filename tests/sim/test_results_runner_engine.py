@@ -116,6 +116,70 @@ class TestSweep:
         assert calls == [1, 2]
 
 
+class TestSweepReproducibility:
+    """Trial seeds descend from the root SeedSequence spawn tree — not from
+    ``hash(str)``, which is salted per process and silently broke same-seed
+    reproducibility."""
+
+    def test_same_seed_sweeps_are_identical(self):
+        params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
+        first = sweep(
+            ["future_rand", "erlingsson"], params, "k", [1, 2], trials=2, seed=11
+        )
+        second = sweep(
+            ["future_rand", "erlingsson"], params, "k", [1, 2], trials=2, seed=11
+        )
+        assert first.to_json() == second.to_json()
+
+    def test_different_seeds_differ(self):
+        params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
+        first = sweep(None, params, "k", [2], trials=2, seed=1)
+        second = sweep(None, params, "k", [2], trials=2, seed=2)
+        assert first.rows[0]["mean_max_abs"] != second.rows[0]["mean_max_abs"]
+
+    def test_runners_get_independent_trial_seeds(self):
+        # Two names for the same runner at the same sweep point must not
+        # replay each other's randomness.
+        params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
+        table = sweep(
+            {"a": run_batch, "b": run_batch}, params, "k", [2], trials=2, seed=0
+        )
+        assert table.rows[0]["mean_max_abs"] != table.rows[1]["mean_max_abs"]
+
+    def test_reproducible_across_processes(self, tmp_path):
+        """The real regression: ``hash(str)`` salting differs per process."""
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "import json\n"
+            "from repro.core.params import ProtocolParams\n"
+            "from repro.sim.runner import sweep\n"
+            "params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)\n"
+            "table = sweep(['future_rand', 'naive_split'], params, 'k', [1, 2],"
+            " trials=2, seed=17)\n"
+            "print(json.dumps(table.to_json()))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        env.pop("PYTHONHASHSEED", None)  # let each process pick its own salt
+        outputs = [
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout
+            for _ in range(2)
+        ]
+        assert json.loads(outputs[0]) == json.loads(outputs[1])
+
+
 class TestSimulationEngine:
     def test_callback_invoked_every_period(self, rng):
         params = ProtocolParams(n=40, d=8, k=2, epsilon=1.0)

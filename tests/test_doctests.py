@@ -23,6 +23,7 @@ MODULES_WITH_EXAMPLES = [
     "repro.core.composed_randomizer",
     "repro.core.future_rand",
     "repro.core.client",
+    "repro.protocols.registry",
     "repro.sim.results",
     "repro.sim.runner",
     "repro.sim.engine",
