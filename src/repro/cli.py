@@ -10,6 +10,10 @@ Usage::
     repro run-protocol erlingsson --n 10000 --d 64 --k 4
     repro run-protocol future_rand --streaming   # drive the Session API
     repro cgap --k 64 --epsilon 1.0 # print exact randomizer constants
+    repro sweep --protocols future_rand erlingsson --parameter k \\
+        --values 2 8 32 --workers 4 --out results/ --resume
+    repro results show results/     # inspect persisted sweep artifacts
+    repro results merge merged.json results/tables/*.json
 """
 
 from __future__ import annotations
@@ -47,6 +51,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--json", dest="json_dir", default=None,
         help="also write <id>.json result files into this directory",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for sweep-backed experiments (E2-E5, E10); "
+        "0 = one per available CPU; output is bit-identical for any count",
+    )
+    run_parser.add_argument(
+        "--out", dest="store_dir", default=None,
+        help="persist sweep trial chunks as resumable artifacts under this "
+        "result-store directory (sweep-backed experiments only)",
     )
 
     cgap_parser = subparsers.add_parser(
@@ -118,6 +132,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the streaming Session API period by period (prints the "
         "online estimate trajectory)",
     )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="sharded multi-protocol parameter sweep with persistent, "
+        "resumable result artifacts",
+    )
+    sweep_parser.add_argument(
+        "--protocols", nargs="+", default=["future_rand"],
+        choices=sorted(PROTOCOLS), metavar="NAME",
+        help=f"registry protocols to sweep (any of: {', '.join(sorted(PROTOCOLS))})",
+    )
+    sweep_parser.add_argument(
+        "--parameter", choices=("n", "d", "k", "epsilon"), required=True,
+        help="which parameter to vary",
+    )
+    sweep_parser.add_argument(
+        "--values", nargs="+", type=float, required=True,
+        help="sweep values for --parameter",
+    )
+    sweep_parser.add_argument("--n", type=int, default=4000)
+    sweep_parser.add_argument("--d", type=int, default=64)
+    sweep_parser.add_argument("--k", type=int, default=4)
+    sweep_parser.add_argument("--epsilon", type=float, default=1.0)
+    sweep_parser.add_argument("--trials", type=int, default=3)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (0 = one per available CPU); any count "
+        "produces bit-identical tables",
+    )
+    sweep_parser.add_argument(
+        "--shard-size", type=int, default=None,
+        help="trials per artifact shard (default: 1 when --out is given)",
+    )
+    sweep_parser.add_argument(
+        "--out", dest="store_dir", default=None,
+        help="result-store directory; every trial chunk is persisted as a "
+        "content-addressed artifact and the merged table is saved",
+    )
+    sweep_parser.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="skip shards whose artifacts already exist in --out "
+        "(--no-resume recomputes and overwrites)",
+    )
+
+    results_parser = subparsers.add_parser(
+        "results", help="inspect and merge persisted result artifacts"
+    )
+    results_sub = results_parser.add_subparsers(dest="results_command", required=True)
+    show_parser = results_sub.add_parser(
+        "show", help="summarize a result store or print a stored table"
+    )
+    show_parser.add_argument(
+        "path", help="a result-store directory or a table JSON file"
+    )
+    merge_parser = results_sub.add_parser(
+        "merge", help="merge result tables into one deduplicated table"
+    )
+    merge_parser.add_argument("output", help="output JSON path for the merged table")
+    merge_parser.add_argument(
+        "inputs", nargs="+", help="table JSON files (or store table paths) to merge"
+    )
     return parser
 
 
@@ -128,11 +204,33 @@ def _command_list() -> int:
     return 0
 
 
-def _command_run(experiment: str, scale: str, seed: int, json_dir: Optional[str]) -> int:
+def _command_run(
+    experiment: str,
+    scale: str,
+    seed: int,
+    json_dir: Optional[str],
+    workers: int = 1,
+    store_dir: Optional[str] = None,
+) -> int:
+    import inspect
+
+    from repro.sim.parallel import default_workers
+    from repro.sim.store import ResultStore
+
+    workers = workers if workers > 0 else default_workers()
+    store = ResultStore(store_dir) if store_dir else None
     ids = sorted(EXPERIMENTS) if experiment.lower() == "all" else [experiment]
     for experiment_id in ids:
         spec = get_experiment(experiment_id)
-        table = spec.run(scale=scale, seed=seed)
+        # Only the sweep-backed experiments take the scaling knobs; forward
+        # them exactly where the signature advertises support.
+        accepted = inspect.signature(spec.run).parameters
+        extras = {}
+        if "workers" in accepted:
+            extras["workers"] = workers
+        if "store" in accepted:
+            extras["store"] = store
+        table = spec.run(scale=scale, seed=seed, **extras)
         print(table.to_markdown())
         print()
         if json_dir is not None:
@@ -310,6 +408,98 @@ def _command_run_protocol(
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.core.params import ProtocolParams
+    from repro.sim.parallel import default_workers
+    from repro.sim.runner import sweep
+    from repro.sim.store import ResultStore, canonical_json
+
+    import hashlib
+
+    workers = args.workers if args.workers > 0 else default_workers()
+    store = ResultStore(args.store_dir) if args.store_dir else None
+    base_params = ProtocolParams(n=args.n, d=args.d, k=args.k, epsilon=args.epsilon)
+    shards_before = store.shard_count() if store is not None else 0
+    table = sweep(
+        list(args.protocols),
+        base_params,
+        args.parameter,
+        args.values,
+        trials=args.trials,
+        seed=args.seed,
+        workers=workers,
+        shard_size=args.shard_size,
+        store=store,
+        resume=args.resume,
+        title=(
+            f"sweep over {args.parameter} "
+            f"({', '.join(args.protocols)}; trials={args.trials}, seed={args.seed})"
+        ),
+    )
+    print(table.to_markdown())
+    if store is not None:
+        config = {
+            "protocols": sorted(args.protocols),
+            "parameter": args.parameter,
+            "values": list(args.values),
+            "params": [args.n, args.d, args.k, args.epsilon],
+            "trials": args.trials,
+            "seed": args.seed,
+        }
+        slug = hashlib.sha256(canonical_json(config).encode()).hexdigest()[:12]
+        name = f"sweep-{args.parameter}-{slug}"
+        path = store.save_table(name, table)
+        shards_after = store.shard_count()
+        print()
+        print(
+            f"(store: {shards_after} shard artifacts, "
+            f"{shards_after - shards_before} new this run; table -> {path})"
+        )
+    return 0
+
+
+def _command_results_show(path_text: str) -> int:
+    from repro.sim.results import ResultTable
+    from repro.sim.store import ResultStore
+
+    path = Path(path_text)
+    if path.is_dir():
+        store = ResultStore(path)
+        protocols: dict[str, int] = {}
+        trials = 0
+        for body in store.iter_shards():
+            key = body["key"]
+            protocols[key["protocol"]] = protocols.get(key["protocol"], 0) + 1
+            trials += key["trial_stop"] - key["trial_start"]
+        print(f"result store: {path}")
+        print(f"shard artifacts: {store.shard_count()} ({trials} trials)")
+        for protocol in sorted(protocols):
+            print(f"  {protocol}: {protocols[protocol]} shards")
+        tables = store.list_tables()
+        print(f"tables: {len(tables)}")
+        for name in tables:
+            print(f"  {name}")
+        return 0
+    table = ResultTable.from_json(path.read_text())
+    print(table.to_markdown())
+    return 0
+
+
+def _command_results_merge(output: str, inputs: Sequence[str]) -> int:
+    from repro.sim.results import ResultTable
+    from repro.sim.store import merge_tables
+
+    tables = [ResultTable.from_json(Path(text).read_text()) for text in inputs]
+    merged = merge_tables(tables)
+    out_path = Path(output)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(merged.to_json())
+    print(merged.to_markdown())
+    print()
+    print(f"(merged {len(tables)} tables, {len(merged.rows)} rows -> {out_path})")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -317,7 +507,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "run":
-        return _command_run(args.experiment, args.scale, args.seed, args.json_dir)
+        return _command_run(
+            args.experiment,
+            args.scale,
+            args.seed,
+            args.json_dir,
+            args.workers,
+            args.store_dir,
+        )
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "results":
+        if args.results_command == "show":
+            return _command_results_show(args.path)
+        return _command_results_merge(args.output, args.inputs)
     if args.command == "cgap":
         return _command_cgap(args.k, args.epsilon)
     if args.command == "verify":

@@ -22,8 +22,14 @@ _SCALES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0) -> ResultTable:
-    """Sweep k, measure error, report the fitted scaling exponent."""
+def run(
+    scale: str = "small", seed: int = 0, *, workers: int = 1, store=None
+) -> ResultTable:
+    """Sweep k, measure error, report the fitted scaling exponent.
+
+    ``workers``/``store`` shard the sweep across processes and persist each
+    trial chunk as a resumable artifact (see :mod:`repro.sim.parallel`).
+    """
     config = _SCALES[scale]
     params = ProtocolParams(
         n=config["n"], d=config["d"], k=max(config["ks"]), epsilon=config["eps"]
@@ -36,6 +42,8 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         trials=config["trials"],
         seed=seed,
         title="E2: max error vs k (Theorem 4.1 predicts sqrt(k))",
+        workers=workers,
+        store=store,
     )
     ks = table.column("k")
     errors = table.column("mean_max_abs")

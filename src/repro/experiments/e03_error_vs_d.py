@@ -20,8 +20,14 @@ _SCALES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0) -> ResultTable:
-    """Sweep d, measure error, report power-law and log-law fits."""
+def run(
+    scale: str = "small", seed: int = 0, *, workers: int = 1, store=None
+) -> ResultTable:
+    """Sweep d, measure error, report power-law and log-law fits.
+
+    ``workers``/``store`` shard the sweep across processes and persist each
+    trial chunk as a resumable artifact (see :mod:`repro.sim.parallel`).
+    """
     config = _SCALES[scale]
     params = ProtocolParams(
         n=config["n"], d=max(config["ds"]), k=config["k"], epsilon=config["eps"]
@@ -34,6 +40,8 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         trials=config["trials"],
         seed=seed,
         title="E3: max error vs d (Theorem 4.1 predicts ~log d)",
+        workers=workers,
+        store=store,
     )
     ds = table.column("d")
     errors = table.column("mean_max_abs")

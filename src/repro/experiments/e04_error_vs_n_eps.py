@@ -33,8 +33,14 @@ _SCALES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0) -> ResultTable:
-    """Sweep n and epsilon; report both fitted exponents in one table."""
+def run(
+    scale: str = "small", seed: int = 0, *, workers: int = 1, store=None
+) -> ResultTable:
+    """Sweep n and epsilon; report both fitted exponents in one table.
+
+    ``workers``/``store`` shard the sweeps across processes and persist each
+    trial chunk as a resumable artifact (see :mod:`repro.sim.parallel`).
+    """
     config = _SCALES[scale]
     params = ProtocolParams(
         n=config["base_n"], d=config["d"], k=config["k"], epsilon=1.0
@@ -48,6 +54,8 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         trials=config["trials"],
         seed=seed,
         title="E4a: max error vs n",
+        workers=workers,
+        store=store,
     )
     n_exponent, _ = fit_power_law(n_table.column("n"), n_table.column("mean_max_abs"))
 
@@ -59,6 +67,8 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         trials=config["trials"],
         seed=seed + 1,
         title="E4b: max error vs epsilon",
+        workers=workers,
+        store=store,
     )
     eps_exponent, _ = fit_power_law(
         eps_table.column("epsilon"), eps_table.column("mean_max_abs")

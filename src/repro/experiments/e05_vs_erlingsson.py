@@ -27,8 +27,14 @@ _SCALES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0) -> ResultTable:
-    """Run both protocols across k; report per-k winner and fitted exponents."""
+def run(
+    scale: str = "small", seed: int = 0, *, workers: int = 1, store=None
+) -> ResultTable:
+    """Run both protocols across k; report per-k winner and fitted exponents.
+
+    ``workers``/``store`` shard the sweep across processes and persist each
+    trial chunk as a resumable artifact (see :mod:`repro.sim.parallel`).
+    """
     config = _SCALES[scale]
     params = ProtocolParams(
         n=config["n"], d=config["d"], k=max(config["ks"]), epsilon=config["eps"]
@@ -41,6 +47,8 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         trials=config["trials"],
         seed=seed,
         title="E5: FutureRand vs Erlingsson et al. across k",
+        workers=workers,
+        store=store,
     )
     by_protocol: dict[str, dict[float, float]] = {}
     for row in raw.rows:

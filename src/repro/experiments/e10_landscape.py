@@ -35,8 +35,14 @@ _PROTOCOLS = (
 )
 
 
-def run(scale: str = "small", seed: int = 0) -> ResultTable:
-    """Sweep d across all protocols; pivot into one row per horizon."""
+def run(
+    scale: str = "small", seed: int = 0, *, workers: int = 1, store=None
+) -> ResultTable:
+    """Sweep d across all protocols; pivot into one row per horizon.
+
+    ``workers``/``store`` shard the sweep across processes and persist each
+    trial chunk as a resumable artifact (see :mod:`repro.sim.parallel`).
+    """
     config = _SCALES[scale]
     params = ProtocolParams(
         n=config["n"], d=max(config["ds"]), k=config["k"], epsilon=config["eps"]
@@ -49,6 +55,8 @@ def run(scale: str = "small", seed: int = 0) -> ResultTable:
         trials=config["trials"],
         seed=seed,
         title="E10 raw",
+        workers=workers,
+        store=store,
     )
     by_d: dict[float, dict[str, float]] = {}
     for row in raw.rows:

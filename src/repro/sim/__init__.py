@@ -29,16 +29,59 @@ the equivalence).
   randomness in batched numpy draws and delivers each period's reports with
   one ``Server.receive_batch`` call per order group — millions of
   user-periods per second.
+
+Scaling sweeps
+--------------
+
+``run_trials`` and ``sweep`` take three knobs that turn a laptop-sized
+experiment into a persisted, resumable grid run (see :mod:`repro.sim.parallel`
+and :mod:`repro.sim.store`):
+
+* ``workers=N`` — trial chunks from every sweep point and protocol fan out
+  across a ``ProcessPoolExecutor``.  Seeding is sharding-invariant: each
+  trial's generator descends from the same root ``SeedSequence`` node no
+  matter where it executes, so the output is **bit-identical for any worker
+  count** (``workers=4`` equals ``workers=1`` equals the historical serial
+  loop).  Registry protocols cross the process boundary by name; plain
+  callables must be picklable (module-level functions are).
+* ``store=ResultStore("results/")`` — every (protocol, sweep point, trial
+  chunk) is persisted as a content-addressed JSON artifact under
+  ``results/shards/``, keyed by a SHA-256 of the protocol name, parameters,
+  seed path, trial indices and workload digest, and carrying provenance
+  (git SHA, timing, worker count) plus an integrity checksum.  Merged tables
+  land under ``results/tables/``.
+* ``resume=True`` (default when a store is given) — shards whose artifacts
+  already exist are reloaded instead of recomputed, so re-running an
+  interrupted sweep executes only the missing shards and produces the same
+  table bit-for-bit.  A corrupted artifact raises
+  :class:`~repro.sim.store.ArtifactCorruptedError` instead of being silently
+  recomputed.
+
+The CLI front-end::
+
+    repro sweep --protocols future_rand erlingsson --parameter k \\
+        --values 2 8 32 --n 4000 --d 64 --trials 5 \\
+        --workers 4 --out results/ --resume
+    repro results show results/
+    repro results merge merged.json results/tables/*.json
 """
 
 from repro.sim.batch_engine import BatchSimulationEngine, run_batch_engine
 from repro.sim.engine import SimulationEngine, StepSnapshot
+from repro.sim.parallel import default_workers, plan_shards
 from repro.sim.results import ResultTable, format_markdown_table
 from repro.sim.runner import (
     ProtocolRunner,
     TrialStatistics,
     run_trials,
     sweep,
+)
+from repro.sim.store import (
+    ArtifactCorruptedError,
+    ResultStore,
+    ResultStoreError,
+    ShardKey,
+    merge_tables,
 )
 
 __all__ = [
@@ -52,4 +95,11 @@ __all__ = [
     "TrialStatistics",
     "run_trials",
     "sweep",
+    "ResultStore",
+    "ResultStoreError",
+    "ArtifactCorruptedError",
+    "ShardKey",
+    "merge_tables",
+    "default_workers",
+    "plan_shards",
 ]

@@ -1,0 +1,247 @@
+"""Multiprocess sharded execution of protocol trials.
+
+The unit of work is a :class:`ShardTask`: one protocol, one workload, one
+contiguous chunk of trial indices, and the exact ``SeedSequence`` children
+those trials would receive on the serial path.  Sharding therefore changes
+*where* a trial runs, never *what* it computes: each trial's generator is
+spawned from the same root node of the seed tree regardless of worker count
+or shard boundaries, and the parent reassembles per-trial metrics in trial
+order before aggregating.  ``workers=4`` is bit-identical to ``workers=1``
+is bit-identical to the historical serial loop (regression-tested).
+
+Runners cross the process boundary in one of two forms:
+
+* registry protocols travel as their *name* and are re-resolved from
+  :data:`repro.protocols.PROTOCOLS` inside the worker (no instance pickling);
+* any other callable is pickled directly, which works for module-level
+  functions such as ``run_batch`` — lambdas/closures require ``workers=1``.
+
+``execute_shards`` streams an ``on_complete`` callback as each shard finishes
+(in completion order), which is how interrupted sweeps persist the shards
+they *did* finish; results are still returned in submission order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.accuracy import summarize_errors
+from repro.core.params import ProtocolParams
+
+__all__ = [
+    "METRIC_NAMES",
+    "ShardTask",
+    "compute_trial_metrics",
+    "decode_runner",
+    "default_workers",
+    "encode_runner",
+    "execute_shards",
+    "metrics_from_columns",
+    "metrics_to_columns",
+    "plan_batches",
+    "plan_shards",
+]
+
+#: Per-trial metric columns, in tuple order — the artifact schema's metric set.
+METRIC_NAMES = ("max_abs", "mean_abs", "rmse")
+
+#: One trial's metrics: ``(max_abs, mean_abs, rmse)``.
+TrialMetrics = tuple[float, float, float]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (respects CPU affinity)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def plan_shards(trials: int, shard_size: int) -> list[tuple[int, int]]:
+    """Split ``trials`` into contiguous ``[start, stop)`` chunks.
+
+    The plan depends only on ``(trials, shard_size)`` — never on the worker
+    count — so artifact keys (which embed the chunk bounds) are stable across
+    reruns with different parallelism.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be at least 1, got {trials}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+    return [
+        (start, min(start + shard_size, trials))
+        for start in range(0, trials, shard_size)
+    ]
+
+
+def encode_runner(name: str, runner: Callable) -> tuple[str, object]:
+    """Encode a resolved runner for transport to a worker process."""
+    from repro.protocols.registry import PROTOCOLS
+
+    if PROTOCOLS.get(name) is runner:
+        return ("registry", name)
+    return ("pickle", runner)
+
+
+def decode_runner(encoded: tuple[str, object]) -> Callable:
+    """Inverse of :func:`encode_runner` (runs inside the worker)."""
+    kind, payload = encoded
+    if kind == "registry":
+        from repro.protocols.registry import get_protocol
+
+        return get_protocol(payload)
+    return payload
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One self-contained chunk of trials, executable in any process."""
+
+    runner: tuple[str, object]
+    states: np.ndarray
+    params: ProtocolParams
+    seeds: tuple[np.random.SeedSequence, ...]
+    trial_start: int
+    trial_stop: int
+
+
+def compute_trial_metrics(
+    runner: Callable,
+    states: np.ndarray,
+    params: ProtocolParams,
+    seeds: Sequence[np.random.SeedSequence],
+) -> list[TrialMetrics]:
+    """Run one trial per seed and summarize its errors.
+
+    This is the single implementation both the serial and the multiprocess
+    paths execute — the shared kernel that makes them bit-identical.
+    """
+    metrics: list[TrialMetrics] = []
+    for child in seeds:
+        rng = np.random.default_rng(child)
+        result = runner(states, params, rng)
+        summary = summarize_errors(result.estimates, result.true_counts)
+        metrics.append((summary.max_abs, summary.mean_abs, summary.rmse))
+    return metrics
+
+
+def _execute_shard_batch(
+    batch: Sequence[ShardTask],
+) -> list[tuple[list[TrialMetrics], float]]:
+    """Worker entry point: run a batch of shards, timing each one.
+
+    Module-level so the pool can pickle it.  Returns ``(metrics, seconds)``
+    per shard — duration is measured here, in the worker, so artifact
+    provenance records each shard's own compute time rather than elapsed
+    wall-clock since the whole sweep started.
+    """
+    outcomes = []
+    for task in batch:
+        started = time.perf_counter()
+        runner = decode_runner(task.runner)
+        metrics = compute_trial_metrics(runner, task.states, task.params, task.seeds)
+        outcomes.append((metrics, time.perf_counter() - started))
+    return outcomes
+
+
+def metrics_to_columns(metrics: Sequence[TrialMetrics]) -> dict[str, list[float]]:
+    """Column-oriented view for artifact serialization."""
+    return {
+        name: [trial[index] for trial in metrics]
+        for index, name in enumerate(METRIC_NAMES)
+    }
+
+
+def metrics_from_columns(columns: dict) -> list[TrialMetrics]:
+    """Inverse of :func:`metrics_to_columns` (artifact deserialization)."""
+    try:
+        series = [columns[name] for name in METRIC_NAMES]
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed metric columns: {error}") from error
+    lengths = {len(column) for column in series}
+    if len(lengths) != 1:
+        raise ValueError(f"ragged metric columns (lengths {sorted(lengths)})")
+    return [tuple(float(column[i]) for column in series) for i in range(lengths.pop())]
+
+
+def plan_batches(tasks: Sequence[ShardTask], workers: int) -> list[list[int]]:
+    """Group task indices for pool submission, one workload pickle per batch.
+
+    Tasks sharing the same ``states`` array (every shard of one sweep point)
+    are grouped, and each group is split into at most ``workers`` contiguous
+    batches.  A batch is pickled as one object, and pickle memoizes the
+    shared array, so the workload crosses the process boundary at most
+    ``workers`` times per sweep point — not once per trial — while still
+    keeping every worker busy.  Batching affects only transport: per-shard
+    results and artifact keys are unchanged.
+    """
+    by_workload: dict[int, list[int]] = {}
+    for index, task in enumerate(tasks):
+        by_workload.setdefault(id(task.states), []).append(index)
+    batches: list[list[int]] = []
+    for indices in by_workload.values():
+        size = max(1, -(-len(indices) // max(workers, 1)))
+        batches.extend(
+            indices[start : start + size] for start in range(0, len(indices), size)
+        )
+    return batches
+
+
+def execute_shards(
+    tasks: Sequence[ShardTask],
+    *,
+    workers: int = 1,
+    on_complete: Optional[Callable[[int, list[TrialMetrics], float], None]] = None,
+) -> list[list[TrialMetrics]]:
+    """Execute shard tasks, returning their metrics in submission order.
+
+    ``workers <= 1`` runs in-process (no pool, no pickling — closures and
+    counting test doubles work) and fires ``on_complete`` after every single
+    shard.  With a pool, shards are submitted in workload-sharing batches
+    (:func:`plan_batches`) and ``on_complete(task_index, metrics, seconds)``
+    fires per shard as each batch finishes, so callers can persist progress
+    incrementally; an exception from any shard propagates after
+    already-completed callbacks have run.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    results: list[Optional[list[TrialMetrics]]] = [None] * len(tasks)
+
+    def handle(
+        indices: Sequence[int], outcomes: Sequence[tuple[list[TrialMetrics], float]]
+    ) -> None:
+        for index, (metrics, seconds) in zip(indices, outcomes):
+            results[index] = metrics
+            if on_complete is not None:
+                on_complete(index, metrics, seconds)
+
+    if workers == 1 or len(tasks) <= 1:
+        for index, task in enumerate(tasks):
+            handle([index], _execute_shard_batch([task]))
+        return results  # type: ignore[return-value]
+
+    batches = plan_batches(tasks, workers)
+    with ProcessPoolExecutor(max_workers=min(workers, len(batches))) as pool:
+        future_indices = {
+            pool.submit(
+                _execute_shard_batch, [tasks[index] for index in batch]
+            ): batch
+            for batch in batches
+        }
+        pending = set(future_indices)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # .result() re-raises worker exceptions
+                    handle(future_indices[future], future.result())
+        finally:
+            for future in pending:
+                future.cancel()
+    return results  # type: ignore[return-value]

@@ -17,6 +17,13 @@ as ``"erlingsson"`` (resolved through :mod:`repro.protocols`), a protocol
 instance, or the historical plain callable.  ``sweep`` additionally accepts
 a sequence of names/protocols — ``sweep(["future_rand", "erlingsson"], ...)``
 — alongside the historical ``{name: runner}`` dict.
+
+Scaling knobs (see :mod:`repro.sim.parallel` and :mod:`repro.sim.store`):
+``workers=N`` fans trial shards across a ``ProcessPoolExecutor`` with
+bit-identical output for any worker count; ``store=ResultStore(...)``
+persists every (protocol, sweep point, trial chunk) as a content-addressed
+artifact, and ``resume=True`` (the default when a store is given) skips
+shards whose artifacts already exist.
 """
 
 from __future__ import annotations
@@ -27,12 +34,21 @@ from typing import Callable, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
-from repro.analysis.accuracy import summarize_errors
 from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult
 from repro.protocols.registry import ProtocolLike, resolve_runner
 from repro.sim.batch_engine import run_batch_engine
+from repro.sim.parallel import (
+    ShardTask,
+    TrialMetrics,
+    encode_runner,
+    execute_shards,
+    metrics_from_columns,
+    metrics_to_columns,
+    plan_shards,
+)
 from repro.sim.results import ResultTable
+from repro.sim.store import ResultStore, ShardKey, states_digest
 from repro.utils.rng import spawn_generators
 from repro.workloads.generators import BoundedChangePopulation
 
@@ -62,6 +78,28 @@ class TrialStatistics:
     mean_mae: float
     mean_rmse: float
 
+    @classmethod
+    def from_metrics(cls, metrics: Sequence[TrialMetrics]) -> "TrialStatistics":
+        """Aggregate per-trial ``(max_abs, mean_abs, rmse)`` tuples.
+
+        The single aggregation path shared by the serial, multiprocess and
+        artifact-reload code — given the same per-trial floats in the same
+        order, the statistics are bit-identical.
+        """
+        trials = len(metrics)
+        max_array = np.array([trial[0] for trial in metrics])
+        maes = [trial[1] for trial in metrics]
+        rmses = [trial[2] for trial in metrics]
+        return cls(
+            trials=trials,
+            mean_max_abs=float(max_array.mean()),
+            std_max_abs=float(max_array.std(ddof=1)) if trials > 1 else 0.0,
+            worst_max_abs=float(max_array.max()),
+            best_max_abs=float(max_array.min()),
+            mean_mae=float(np.mean(maes)),
+            mean_rmse=float(np.mean(rmses)),
+        )
+
     def as_dict(self) -> dict[str, float]:
         """Plain-dict view for result tables."""
         return {
@@ -75,6 +113,139 @@ class TrialStatistics:
         }
 
 
+def _prepare_runner(runner: Optional[ProtocolLike]) -> tuple[str, Callable]:
+    """Resolve any accepted runner spec to its canonical ``(name, callable)``."""
+    if runner is None:
+        return "future_rand", run_batch_engine
+    return resolve_runner(runner)
+
+
+def _params_payload(params: ProtocolParams) -> dict[str, Union[int, float]]:
+    return {
+        "n": params.n,
+        "d": params.d,
+        "k": params.k,
+        "epsilon": params.epsilon,
+        "beta": params.beta,
+    }
+
+
+@dataclass(frozen=True)
+class _PlannedShard:
+    """One shard of one (protocol, sweep point) unit, plus its artifact key."""
+
+    task: ShardTask
+    key: Optional[ShardKey]
+    point: tuple  # grouping handle for reassembly, e.g. (position, name)
+
+
+def _plan_point_shards(
+    *,
+    name: str,
+    runner: Callable,
+    states: np.ndarray,
+    params: ProtocolParams,
+    trial_seed: np.random.SeedSequence,
+    trials: int,
+    shard_size: int,
+    store: Optional[ResultStore],
+    digest: Optional[str],
+    point: tuple,
+) -> list[_PlannedShard]:
+    """Build the shard tasks (and keys) for one (protocol, sweep point)."""
+    # Captured before spawning: a caller-supplied SeedSequence that has
+    # already spawned children hands out *different* trial seeds, and the
+    # artifact key must reflect that (else resume would hit stale artifacts).
+    spawn_base = trial_seed.n_children_spawned
+    children = tuple(trial_seed.spawn(trials))
+    encoded = encode_runner(name, runner)
+    planned = []
+    for start, stop in plan_shards(trials, shard_size):
+        key = None
+        if store is not None:
+            key = ShardKey(
+                protocol=name,
+                params=_params_payload(params),
+                seed_entropy=trial_seed.entropy,
+                spawn_key=tuple(trial_seed.spawn_key),
+                seed_spawn_base=spawn_base,
+                trial_start=start,
+                trial_stop=stop,
+                trials_total=trials,
+                states_sha256=digest,
+            )
+        planned.append(
+            _PlannedShard(
+                task=ShardTask(
+                    runner=encoded,
+                    states=states,
+                    params=params,
+                    seeds=children[start:stop],
+                    trial_start=start,
+                    trial_stop=stop,
+                ),
+                key=key,
+                point=point,
+            )
+        )
+    return planned
+
+
+def _execute_planned(
+    planned: Sequence[_PlannedShard],
+    *,
+    workers: int,
+    store: Optional[ResultStore],
+    resume: bool,
+) -> dict[tuple, list[TrialMetrics]]:
+    """Run (or reload) every planned shard; return metrics grouped by point.
+
+    Shards whose artifacts already exist are reloaded when ``resume`` is
+    true; everything else executes (across ``workers`` processes) and is
+    persisted the moment it completes, so an interrupted run keeps its
+    finished shards.  Reloaded and freshly-computed metrics are interleaved
+    back into trial order per point — the output is independent of which
+    shards were cached.
+    """
+    metrics_by_shard: list[Optional[list[TrialMetrics]]] = [None] * len(planned)
+    pending: list[int] = []
+    for index, shard in enumerate(planned):
+        if store is not None and resume:
+            body = store.load_shard(shard.key)
+            if body is not None:
+                metrics_by_shard[index] = metrics_from_columns(body["metrics"])
+                continue
+        pending.append(index)
+
+    if pending:
+
+        def on_complete(
+            pending_index: int, metrics: list[TrialMetrics], seconds: float
+        ) -> None:
+            index = pending[pending_index]
+            metrics_by_shard[index] = metrics
+            if store is not None:
+                store.write_shard(
+                    planned[index].key,
+                    metrics_to_columns(metrics),
+                    meta={
+                        "workers": workers,
+                        "duration_s": round(seconds, 6),
+                    },
+                )
+
+        execute_shards(
+            [planned[index].task for index in pending],
+            workers=workers,
+            on_complete=on_complete,
+        )
+
+    grouped: dict[tuple, list[TrialMetrics]] = {}
+    for shard, metrics in zip(planned, metrics_by_shard):
+        grouped.setdefault(shard.point, []).extend(metrics)
+    return grouped
+
+
 def run_trials(
     runner: Optional[ProtocolLike],
     states: np.ndarray,
@@ -82,6 +253,10 @@ def run_trials(
     *,
     trials: int = 5,
     seed: Union[None, int, np.random.SeedSequence] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    resume: bool = True,
 ) -> TrialStatistics:
     """Run ``runner`` repeatedly on the same workload with independent seeds.
 
@@ -89,35 +264,51 @@ def run_trials(
     such as ``"memoization"``, a protocol instance, or a plain callable.
     ``seed`` may be an ``int`` or a ``SeedSequence`` (the latter lets callers
     hand down a node of their own spawn tree for end-to-end reproducibility).
+
+    ``workers > 1`` fans trial chunks across worker processes with
+    bit-identical results for any worker count; ``store`` persists each chunk
+    as a resumable artifact (``resume=False`` forces recomputation).
     """
-    if runner is None:
-        runner = run_batch_engine
-    else:
-        _, runner = resolve_runner(runner)
+    name, runner = _prepare_runner(runner)
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     if not isinstance(seed, np.random.SeedSequence):
         seed = np.random.SeedSequence(seed)
-    generators = spawn_generators(seed, trials)
-    max_errors = []
-    maes = []
-    rmses = []
-    for rng in generators:
-        result = runner(states, params, rng)
-        summary = summarize_errors(result.estimates, result.true_counts)
-        max_errors.append(summary.max_abs)
-        maes.append(summary.mean_abs)
-        rmses.append(summary.rmse)
-    max_array = np.array(max_errors)
-    return TrialStatistics(
+    planned = _plan_point_shards(
+        name=name,
+        runner=runner,
+        states=states,
+        params=params,
+        trial_seed=seed,
         trials=trials,
-        mean_max_abs=float(max_array.mean()),
-        std_max_abs=float(max_array.std(ddof=1)) if trials > 1 else 0.0,
-        worst_max_abs=float(max_array.max()),
-        best_max_abs=float(max_array.min()),
-        mean_mae=float(np.mean(maes)),
-        mean_rmse=float(np.mean(rmses)),
+        shard_size=_default_shard_size(trials, workers, shard_size, store),
+        store=store,
+        digest=states_digest(states) if store is not None else None,
+        point=(name,),
     )
+    grouped = _execute_planned(planned, workers=workers, store=store, resume=resume)
+    return TrialStatistics.from_metrics(grouped[(name,)])
+
+
+def _default_shard_size(
+    trials: int,
+    workers: int,
+    shard_size: Optional[int],
+    store: Optional[ResultStore],
+) -> int:
+    """Pick a shard size: fine-grained when persisting, coarse otherwise.
+
+    With a store, the default is one trial per shard so resume granularity is
+    maximal and keys stay independent of the worker count.  Without one,
+    chunks just need to keep every worker busy.
+    """
+    if shard_size is not None:
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be at least 1, got {shard_size}")
+        return shard_size
+    if store is not None:
+        return 1
+    return max(1, -(-trials // max(workers, 1)))
 
 
 def _default_workload(params: ProtocolParams, rng: np.random.Generator) -> np.ndarray:
@@ -167,6 +358,10 @@ def sweep(
         Callable[[ProtocolParams, np.random.Generator], np.ndarray]
     ] = None,
     title: Optional[str] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    resume: bool = True,
 ) -> ResultTable:
     """Sweep one protocol parameter and tabulate every runner's error.
 
@@ -180,6 +375,13 @@ def sweep(
     All trial seeds descend from the root ``SeedSequence`` spawn tree, keyed
     by sweep position and a process-stable fingerprint of the runner name —
     two same-seed sweeps produce identical tables, in any process.
+
+    ``workers > 1`` executes trial shards from *all* sweep points and runners
+    concurrently in one process pool; the assembled table is bit-identical
+    for any worker count.  ``store`` persists every shard as a
+    content-addressed artifact; with ``resume=True`` (default) shards whose
+    artifacts exist are reloaded instead of recomputed, so an interrupted
+    sweep continues where it stopped.
 
     >>> params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
     >>> table = sweep(None, params, "k", [1, 2], trials=1, seed=0)
@@ -199,10 +401,15 @@ def sweep(
     root = np.random.SeedSequence(seed)
     workload_rngs = spawn_generators(root, len(values))
     trial_base = root.spawn(1)[0]
+    effective_shard_size = _default_shard_size(trials, workers, shard_size, store)
+
+    planned: list[_PlannedShard] = []
+    point_order: list[tuple] = []
     for position, value in enumerate(values):
         cast = float(value) if parameter == "epsilon" else int(value)
         params = base_params.with_updates(**{parameter: cast})
         states = make_states(params, workload_rngs[position])
+        digest = states_digest(states) if store is not None else None
         for name, runner in runners.items():
             # One spawn-tree node per (sweep point, runner): deterministic,
             # independent of dict iteration order and of the process hash salt.
@@ -211,14 +418,32 @@ def sweep(
                 spawn_key=trial_base.spawn_key
                 + (position, _stable_name_key(name)),
             )
-            statistics = run_trials(
-                runner, states, params, trials=trials, seed=trial_seed
+            point = (position, float(value), name)
+            point_order.append(point)
+            planned.extend(
+                _plan_point_shards(
+                    name=name,
+                    runner=runner,
+                    states=states,
+                    params=params,
+                    trial_seed=trial_seed,
+                    trials=trials,
+                    shard_size=effective_shard_size,
+                    store=store,
+                    digest=digest,
+                    point=point,
+                )
             )
-            table.add_row(
-                **{parameter: float(value)},
-                protocol=name,
-                mean_max_abs=statistics.mean_max_abs,
-                std_max_abs=statistics.std_max_abs,
-                mean_mae=statistics.mean_mae,
-            )
+
+    grouped = _execute_planned(planned, workers=workers, store=store, resume=resume)
+    for point in point_order:
+        _, value, name = point
+        statistics = TrialStatistics.from_metrics(grouped[point])
+        table.add_row(
+            **{parameter: value},
+            protocol=name,
+            mean_max_abs=statistics.mean_max_abs,
+            std_max_abs=statistics.std_max_abs,
+            mean_mae=statistics.mean_mae,
+        )
     return table

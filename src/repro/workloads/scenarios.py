@@ -81,6 +81,38 @@ class Scenario:
             return runner(self.states, self.params, rng)
         return self._run_streaming(name, runner, rng, callback)
 
+    def run_trials(
+        self,
+        protocol: Optional["ProtocolLike"] = None,
+        *,
+        trials: int = 5,
+        seed: Optional[int] = None,
+        workers: int = 1,
+        store=None,
+        resume: bool = True,
+    ):
+        """Repeat the scenario across independent seeds, optionally sharded.
+
+        Delegates to :func:`repro.sim.runner.run_trials` on this scenario's
+        fixed population: ``workers`` fans trial chunks across processes
+        (bit-identical for any worker count) and ``store`` (a
+        :class:`repro.sim.store.ResultStore`) persists each chunk as a
+        resumable artifact.  Returns
+        :class:`repro.sim.runner.TrialStatistics`.
+        """
+        from repro.sim.runner import run_trials
+
+        return run_trials(
+            protocol,
+            self.states,
+            self.params,
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            store=store,
+            resume=resume,
+        )
+
     def _run_streaming(self, name, runner, rng, callback):
         """Drive a protocol's streaming session, emitting per-period snapshots."""
         from repro.protocols import LongitudinalProtocol

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for the persistent result store.
+
+Three invariant families:
+
+* **round-trip** — any ``ResultTable`` survives JSON serialization and any
+  shard's metric columns survive the artifact write/load cycle bit-for-bit;
+* **merge algebra** — ``merge_tables`` is commutative, idempotent and
+  associative, so artifacts can be combined in any arrival order;
+* **corruption detection** — any byte-level tampering with an artifact
+  raises :class:`ArtifactCorruptedError` with an actionable message instead
+  of being silently recomputed or crashing with a raw decode error.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.parallel import metrics_from_columns, metrics_to_columns
+from repro.sim.results import ResultTable
+from repro.sim.store import (
+    ArtifactCorruptedError,
+    ResultStore,
+    ShardKey,
+    merge_tables,
+)
+
+_cell = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+_column_names = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8
+    ),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+
+@st.composite
+def tables(draw) -> ResultTable:
+    columns = draw(_column_names)
+    table = ResultTable(
+        title=draw(st.text(max_size=20)),
+        columns=list(columns),
+        notes=draw(st.text(max_size=20)),
+    )
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        row = {name: draw(_cell) for name in columns}
+        table.add_row(**row)
+    return table
+
+
+@given(tables())
+def test_result_table_json_roundtrip(table):
+    restored = ResultTable.from_json(table.to_json())
+    assert restored.title == table.title
+    assert restored.columns == table.columns
+    assert restored.rows == table.rows
+    assert restored.notes == table.notes
+    assert restored.to_json() == table.to_json()
+
+
+_metrics = st.lists(
+    st.tuples(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _key(start: int, stop: int, trials: int) -> ShardKey:
+    return ShardKey(
+        protocol="demo",
+        params={"n": 100, "d": 16, "k": 2, "epsilon": 1.0, "beta": 0.05},
+        seed_entropy=42,
+        spawn_key=(1, 0),
+        seed_spawn_base=0,
+        trial_start=start,
+        trial_stop=stop,
+        trials_total=trials,
+        states_sha256="0" * 64,
+    )
+
+
+@settings(max_examples=25)
+@given(_metrics)
+def test_shard_artifact_roundtrip_is_bit_identical(tmp_path_factory, metrics):
+    store = ResultStore(tmp_path_factory.mktemp("store"))
+    key = _key(0, len(metrics), len(metrics))
+    store.write_shard(key, metrics_to_columns(metrics))
+    body = store.load_shard(key)
+    assert metrics_from_columns(body["metrics"]) == list(metrics)
+    assert body["key"] == key.as_payload()
+
+
+@given(tables(), tables())
+def test_merge_is_commutative(a, b):
+    assert merge_tables([a, b]).to_json() == merge_tables([b, a]).to_json()
+
+
+@given(tables())
+def test_merge_is_idempotent(a):
+    once = merge_tables([a])
+    twice = merge_tables([a, a])
+    assert twice.to_json() == once.to_json()
+    again = merge_tables([once, a])
+    assert again.to_json() == once.to_json()
+
+
+@given(tables(), tables(), tables())
+@settings(max_examples=25)
+def test_merge_is_associative(a, b, c):
+    left = merge_tables([merge_tables([a, b]), c])
+    right = merge_tables([a, merge_tables([b, c])])
+    assert left.to_json() == right.to_json()
+
+
+@given(tables(), tables())
+def test_merge_preserves_every_distinct_row(a, b):
+    merged = merge_tables([a, b])
+    merged_rows = merged.rows
+    for row in a.rows + b.rows:
+        assert row in merged_rows
+
+
+def test_merge_rejects_empty_input():
+    with pytest.raises(ValueError, match="at least one"):
+        merge_tables([])
+
+
+# -- corruption detection ----------------------------------------------------
+
+
+def _written_shard(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    key = _key(0, 2, 2)
+    path = store.write_shard(key, metrics_to_columns([(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)]))
+    return store, key, path
+
+
+def test_missing_artifact_is_a_clean_cache_miss(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    assert store.load_shard(_key(0, 1, 1)) is None
+
+
+def test_truncated_artifact_raises_corruption_error(tmp_path):
+    store, key, path = _written_shard(tmp_path)
+    path.write_text(path.read_text()[:40])
+    with pytest.raises(ArtifactCorruptedError, match="delete it"):
+        store.load_shard(key)
+
+
+def test_non_json_artifact_raises_corruption_error(tmp_path):
+    store, key, path = _written_shard(tmp_path)
+    path.write_bytes(b"\x00\xffnot json")
+    with pytest.raises(ArtifactCorruptedError, match="not readable JSON"):
+        store.load_shard(key)
+
+
+def test_tampered_metric_fails_checksum(tmp_path):
+    store, key, path = _written_shard(tmp_path)
+    artifact = json.loads(path.read_text())
+    artifact["metrics"]["max_abs"][0] += 1.0
+    path.write_text(json.dumps(artifact))
+    with pytest.raises(ArtifactCorruptedError, match="checksum"):
+        store.load_shard(key)
+
+
+def test_missing_field_raises_corruption_error(tmp_path):
+    store, key, path = _written_shard(tmp_path)
+    artifact = json.loads(path.read_text())
+    del artifact["metrics"]
+    path.write_text(json.dumps(artifact))
+    with pytest.raises(ArtifactCorruptedError, match="missing fields"):
+        store.load_shard(key)
+
+
+def test_artifact_under_wrong_filename_is_rejected(tmp_path):
+    store, key, path = _written_shard(tmp_path)
+    other = _key(0, 1, 1)
+    store.shards_dir.mkdir(parents=True, exist_ok=True)
+    path.rename(store.shard_path(other))
+    with pytest.raises(ArtifactCorruptedError, match="different shard key"):
+        store.load_shard(other)
+
+
+def test_corrupted_artifact_fails_resumed_sweep_loudly(tmp_path):
+    """A resumed sweep must surface corruption, not silently recompute."""
+    from repro.core.params import ProtocolParams
+    from repro.sim.runner import sweep
+
+    params = ProtocolParams(n=120, d=16, k=2, epsilon=1.0)
+    store = ResultStore(tmp_path / "results")
+    sweep(None, params, "k", [1, 2], trials=2, seed=0, store=store)
+    victim = next(iter(store.shards_dir.glob("*.json")))
+    victim.write_text(victim.read_text()[:-30])
+    with pytest.raises(ArtifactCorruptedError):
+        sweep(None, params, "k", [1, 2], trials=2, seed=0, store=store)

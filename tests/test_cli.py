@@ -93,3 +93,87 @@ class TestCommands:
                 ["simulate", "--protocol", "naive_split", "--n", "100",
                  "--d", "16", "--k", "2", "--consistency"]
             )
+
+
+_SWEEP_ARGS = [
+    "sweep", "--protocols", "future_rand", "naive_unsplit",
+    "--parameter", "k", "--values", "1", "2",
+    "--n", "300", "--d", "16", "--trials", "2", "--seed", "0",
+]
+
+
+class TestSweepAndResults:
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["sweep", "--parameter", "k", "--values", "2", "4"]
+        )
+        assert args.protocols == ["future_rand"]
+        assert args.workers == 1
+        assert args.resume is True
+        assert args.store_dir is None
+
+    def test_sweep_rejects_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--protocols", "nope", "--parameter", "k",
+                 "--values", "2"]
+            )
+
+    def test_sweep_without_store(self, capsys):
+        assert main(_SWEEP_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "future_rand" in output and "naive_unsplit" in output
+        assert "store:" not in output
+
+    def test_sweep_persists_and_resumes(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "results")
+        assert main([*_SWEEP_ARGS, "--workers", "2", "--out", store_dir]) == 0
+        first = capsys.readouterr().out
+        # 2 protocols x 2 sweep points x 2 trials, one-trial shards.
+        assert "8 shard artifacts, 8 new this run" in first
+
+        assert main([*_SWEEP_ARGS, "--out", store_dir, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "8 shard artifacts, 0 new this run" in second
+
+        def table_lines(text):
+            return [line for line in text.splitlines() if line.startswith("|")]
+
+        assert table_lines(first) == table_lines(second)
+
+    def test_results_show_store_and_table(self, capsys, tmp_path):
+        store_dir = tmp_path / "results"
+        assert main([*_SWEEP_ARGS, "--out", str(store_dir)]) == 0
+        capsys.readouterr()
+
+        assert main(["results", "show", str(store_dir)]) == 0
+        summary = capsys.readouterr().out
+        assert "shard artifacts: 8" in summary
+        assert "future_rand: 4 shards" in summary
+        assert "tables: 1" in summary
+
+        table_path = next((store_dir / "tables").glob("*.json"))
+        assert main(["results", "show", str(table_path)]) == 0
+        assert "mean_max_abs" in capsys.readouterr().out
+
+    def test_results_merge(self, capsys, tmp_path):
+        store_dir = tmp_path / "results"
+        assert main([*_SWEEP_ARGS, "--out", str(store_dir)]) == 0
+        capsys.readouterr()
+        table_path = next((store_dir / "tables").glob("*.json"))
+        out_path = tmp_path / "merged.json"
+        assert main(
+            ["results", "merge", str(out_path), str(table_path), str(table_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "merged 2 tables, 4 rows" in output
+        assert out_path.exists()
+
+    def test_run_experiment_with_store(self, capsys, tmp_path):
+        store_dir = tmp_path / "e2-artifacts"
+        assert main(
+            ["run", "E2", "--scale", "small", "--workers", "2",
+             "--out", str(store_dir)]
+        ) == 0
+        assert "fitted exponent" in capsys.readouterr().out
+        assert any((store_dir / "shards").glob("*.json"))

@@ -145,6 +145,24 @@ class TestScenarios:
         b = url_tracking_scenario(n=50, d=16, k=2, rng=np.random.default_rng(5))
         assert np.array_equal(a.states, b.states)
 
+    def test_run_trials_sharded_and_persisted(self, tmp_path):
+        from repro.sim.store import ResultStore
+
+        scenario = url_tracking_scenario(
+            n=150, d=16, k=2, rng=np.random.default_rng(6)
+        )
+        serial = scenario.run_trials(trials=3, seed=0)
+        assert serial.trials == 3
+        sharded = scenario.run_trials(trials=3, seed=0, workers=2)
+        assert sharded == serial
+
+        store = ResultStore(tmp_path / "results")
+        persisted = scenario.run_trials(trials=3, seed=0, store=store)
+        assert persisted == serial
+        assert store.shard_count() == 3
+        reloaded = scenario.run_trials(trials=3, seed=0, store=store)
+        assert reloaded == serial
+
 
 class TestStreams:
     def test_iterate_periods(self):
