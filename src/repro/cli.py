@@ -31,6 +31,28 @@ from repro.protocols import PROTOCOLS, get_protocol, list_protocols
 __all__ = ["main", "build_parser"]
 
 
+def _chunk_aware_protocols() -> list[str]:
+    """Registry names that support memory-bounded chunked execution."""
+    return sorted(
+        name
+        for name, protocol in PROTOCOLS.items()
+        if protocol.supports_chunk_size
+    )
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for knobs that must be strictly positive (e.g. chunk size)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -97,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--consistency",
         action="store_true",
         help="apply WLS tree-consistency post-processing (future_rand only)",
+    )
+    simulate_parser.add_argument(
+        "--chunk-size", type=_positive_int, default=None,
+        help="process users in chunks of this size (memory-bounded "
+        "execution; chunk-aware protocols only)",
     )
 
     protocols_parser = subparsers.add_parser(
@@ -165,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--shard-size", type=int, default=None,
         help="trials per artifact shard (default: 1 when --out is given)",
+    )
+    sweep_parser.add_argument(
+        "--chunk-size", type=_positive_int, default=None,
+        help="bound each worker's peak memory by processing users in chunks "
+        "of this size (chunk-aware protocols only; composes with --workers)",
     )
     sweep_parser.add_argument(
         "--out", dest="store_dir", default=None,
@@ -283,6 +315,7 @@ def _command_simulate(
     epsilon: float,
     seed: int,
     consistency: bool,
+    chunk_size: Optional[int] = None,
 ) -> int:
     import numpy as np
 
@@ -295,18 +328,41 @@ def _command_simulate(
 
     params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
     workload_rng, protocol_rng = spawn_generators(np.random.SeedSequence(seed), 2)
-    states = BoundedChangePopulation(d, k, start_prob=0.3).sample(n, workload_rng)
+    population = BoundedChangePopulation(d, k, start_prob=0.3)
+    if chunk_size is not None and protocol != "future_rand" and not consistency:
+        instance = get_protocol(protocol)
+        if not instance.supports_chunk_size:
+            print(
+                f"error: protocol {protocol!r} does not support --chunk-size "
+                f"(chunk-aware protocols: {', '.join(_chunk_aware_protocols())})",
+                file=sys.stderr,
+            )
+            return 2
+    # With --chunk-size the (n, d) matrix is never materialized: the
+    # population streams straight into the chunked aggregators (memory is
+    # bounded by the chunk, generation included).
+    states = (
+        population.sample(n, workload_rng)
+        if chunk_size is None
+        else population.sample_chunks(n, chunk_size, workload_rng)
+    )
 
     if protocol == "future_rand":
         if consistency:
-            reports = collect_tree_reports(states, params, protocol_rng)
+            reports = collect_tree_reports(
+                states, params, protocol_rng, chunk_size=chunk_size
+            )
             result = consistent_result(reports)
         else:
-            result = run_batch(states, params, protocol_rng)
+            result = run_batch(states, params, protocol_rng, chunk_size=chunk_size)
     else:
         if consistency:
             raise SystemExit("--consistency is only supported for future_rand")
-        result = get_protocol(protocol).run(states, params, protocol_rng)
+        instance = get_protocol(protocol)
+        if chunk_size is None:
+            result = instance.run(states, params, protocol_rng)
+        else:
+            result = instance.run(states, params, protocol_rng, chunk_size=chunk_size)
 
     radius = hoeffding_radius(params, result.c_gap, params.beta / params.d)
     print(f"protocol:     {result.family_name}")
@@ -419,6 +475,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
     workers = args.workers if args.workers > 0 else default_workers()
     store = ResultStore(args.store_dir) if args.store_dir else None
     base_params = ProtocolParams(n=args.n, d=args.d, k=args.k, epsilon=args.epsilon)
+    if args.chunk_size is not None:
+        # Validated up front: a mid-sweep ValueError should surface as a
+        # traceback (it is a bug), not masquerade as an argument error.
+        unsupported = sorted(
+            {name for name in args.protocols if not PROTOCOLS[name].supports_chunk_size}
+        )
+        if unsupported:
+            print(
+                f"error: {', '.join(unsupported)} do(es) not support "
+                f"--chunk-size (chunk-aware protocols: "
+                f"{', '.join(_chunk_aware_protocols())})",
+                file=sys.stderr,
+            )
+            return 2
     shards_before = store.shard_count() if store is not None else 0
     table = sweep(
         list(args.protocols),
@@ -431,9 +501,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         store=store,
         resume=args.resume,
+        chunk_size=args.chunk_size,
         title=(
             f"sweep over {args.parameter} "
-            f"({', '.join(args.protocols)}; trials={args.trials}, seed={args.seed})"
+            f"({', '.join(args.protocols)}; trials={args.trials}, "
+            f"seed={args.seed})"
         ),
     )
     print(table.to_markdown())
@@ -463,6 +535,11 @@ def _command_results_show(path_text: str) -> int:
     from repro.sim.store import ResultStore
 
     path = Path(path_text)
+    if not path.exists():
+        print(
+            f"error: no such file or result store: {path}", file=sys.stderr
+        )
+        return 1
     if path.is_dir():
         store = ResultStore(path)
         protocols: dict[str, int] = {}
@@ -487,9 +564,40 @@ def _command_results_show(path_text: str) -> int:
 
 def _command_results_merge(output: str, inputs: Sequence[str]) -> int:
     from repro.sim.results import ResultTable
-    from repro.sim.store import merge_tables
+    from repro.sim.store import ResultStore, merge_tables
 
-    tables = [ResultTable.from_json(Path(text).read_text()) for text in inputs]
+    # Accept table JSON files and result-store directories (expanded to
+    # their saved tables); fail with a readable message, not a traceback.
+    paths: list[Path] = []
+    for text in inputs:
+        path = Path(text)
+        if not path.exists():
+            print(
+                f"error: no such table file or result store: {path}",
+                file=sys.stderr,
+            )
+            return 1
+        if path.is_dir():
+            store = ResultStore(path)
+            names = store.list_tables()
+            if not names:
+                print(
+                    f"error: result store {path} contains no saved tables "
+                    "(run a sweep with --out first)",
+                    file=sys.stderr,
+                )
+                return 1
+            paths.extend(store.tables_dir / f"{name}.json" for name in names)
+        else:
+            paths.append(path)
+
+    tables = []
+    for path in paths:
+        try:
+            tables.append(ResultTable.from_json(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot read table {path}: {error}", file=sys.stderr)
+            return 1
     merged = merge_tables(tables)
     out_path = Path(output)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -536,6 +644,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.epsilon,
             args.seed,
             args.consistency,
+            args.chunk_size,
         )
     if args.command == "protocols":
         return _command_protocols(

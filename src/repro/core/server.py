@@ -176,6 +176,37 @@ class Server:
         self._reports_received += array.size
         return int(array.size)
 
+    def receive_aggregate(
+        self, order: int, index: int, total: float, count: int
+    ) -> int:
+        """Ingest ``count`` pre-summed ``{-1, +1}`` reports for one interval.
+
+        The chunked engine's ingestion path: per-node report sums are folded
+        across user chunks *before* the online period loop, so the server
+        receives one aggregate per dyadic node instead of a column of
+        individual bits.  ``total`` must be a feasible sum of ``count`` signs
+        (``|total| <= count`` with matching parity); the online clock
+        semantics of :meth:`receive` apply unchanged.  Returns ``count``.
+        """
+        max_order = self._d.bit_length() - 1
+        if not 0 <= order <= max_order:
+            raise ValueError(f"order must be in [0, {max_order}], got {order}")
+        if index < 1:
+            raise ValueError(f"index must be at least 1, got {index}")
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        total = float(total)
+        if abs(total) > count or (total - count) % 2:
+            raise ValueError(
+                f"total={total} is not a feasible sum of {count} +-1 reports"
+            )
+        self._check_emission(order, index)
+        if count:
+            self._tree.add(DyadicInterval(order, index), total)
+            self._reports_received += count
+        return count
+
     def partial_sum_estimate(self, interval: DyadicInterval) -> float:
         """Return ``S_hat(I_{h,j})`` (Algorithm 2, line 5)."""
         return self._scale * self._tree[interval]

@@ -34,6 +34,7 @@ __all__ = [
     "run_batch",
     "collect_tree_reports",
     "group_partial_sums",
+    "order_probabilities",
     "validate_states",
     "BatchTreeReports",
 ]
@@ -128,29 +129,91 @@ class BatchTreeReports:
         )
 
 
-def validate_states(states: np.ndarray, params: ProtocolParams) -> np.ndarray:
+#: Row-block granularity of the validation pass.  Temporaries are bounded by
+#: ``_VALIDATE_BLOCK_ROWS * d`` bytes regardless of ``n``, so validating never
+#: doubles the caller's peak memory (the historical ``np.isin`` check
+#: allocated a second full ``(n, d)`` boolean array).
+_VALIDATE_BLOCK_ROWS = 1024
+
+
+def _check_binary_entries(block: np.ndarray) -> None:
+    """Raise unless every entry of ``block`` is 0 or 1 (dtype-aware).
+
+    Boolean blocks are 0/1 by construction; integer blocks need only two
+    O(1)-memory reductions (min/max); anything else (floats, objects) falls
+    back to the exact membership test, whose temporary is bounded by the
+    caller's block size.
+    """
+    if block.dtype.kind == "b":
+        return
+    if block.dtype.kind in "iu":
+        if block.size and (block.min() < 0 or block.max() > 1):
+            raise ValueError("states entries must all be 0 or 1")
+        return
+    if not np.isin(block, (0, 1)).all():
+        raise ValueError("states entries must all be 0 or 1")
+
+
+def validate_states(
+    states: np.ndarray, params: ProtocolParams, *, rows: Optional[int] = None
+) -> np.ndarray:
     """Validate an ``(n, d)`` Boolean population matrix against ``params``.
 
     Checks shape, 0/1 entries, and the per-user change budget ``k`` (counting
     the implicit ``st_u[0] = 0`` boundary); returns the matrix as an array.
     Shared by the batch drivers.
+
+    ``rows`` overrides the expected row count (the chunked pipeline validates
+    per-chunk slices of a conceptual ``(params.n, d)`` population).  The scan
+    runs in bounded row blocks: peak extra allocation is O(block), never a
+    second full-size matrix.
     """
     matrix = np.asarray(states)
     if matrix.ndim != 2:
         raise ValueError(f"states must be 2-D (n, d), got shape {matrix.shape}")
-    if matrix.shape != (params.n, params.d):
+    expected_rows = params.n if rows is None else rows
+    if matrix.shape != (expected_rows, params.d):
         raise ValueError(
             f"states shape {matrix.shape} disagrees with params "
-            f"(n={params.n}, d={params.d})"
+            f"(n={expected_rows}, d={params.d})"
         )
-    if not np.isin(matrix, (0, 1)).all():
-        raise ValueError("states entries must all be 0 or 1")
-    changes = np.count_nonzero(np.diff(matrix, axis=1, prepend=0), axis=1)
-    if (changes > params.k).any():
-        raise ValueError(
-            f"a user changes {int(changes.max())} times, exceeding k={params.k}"
-        )
+    for start in range(0, matrix.shape[0], _VALIDATE_BLOCK_ROWS):
+        block = matrix[start : start + _VALIDATE_BLOCK_ROWS]
+        _check_binary_entries(block)
+        # Change count per user: boundary transitions within the row plus the
+        # implicit st_u[0] = 0 start (no full-matrix diff/prepend temporary).
+        changes = np.count_nonzero(block[:, 1:] != block[:, :-1], axis=1)
+        changes += block[:, 0] != 0
+        if (changes > params.k).any():
+            raise ValueError(
+                f"a user changes {int(changes.max())} times, "
+                f"exceeding k={params.k}"
+            )
     return matrix
+
+
+def order_probabilities(
+    d: int, order_weights: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Normalized order-sampling distribution over ``[0 .. log2 d]``.
+
+    ``None`` gives the paper's uniform sampling; an explicit weight vector
+    (the ablation knob of :func:`collect_tree_reports`) is validated and
+    normalized.  Shared by the monolithic and chunked drivers so both use
+    the identical distribution (and debias scales).
+    """
+    num_orders = d.bit_length()
+    if order_weights is None:
+        return np.full(num_orders, 1.0 / num_orders)
+    probabilities = np.asarray(order_weights, dtype=np.float64)
+    if probabilities.shape != (num_orders,):
+        raise ValueError(
+            f"order_weights must have length {num_orders}, got "
+            f"{probabilities.shape}"
+        )
+    if (probabilities <= 0).any():
+        raise ValueError("order_weights must all be positive")
+    return probabilities / probabilities.sum()
 
 
 def collect_tree_reports(
@@ -160,6 +223,7 @@ def collect_tree_reports(
     *,
     family: Optional[RandomizerFamily] = None,
     order_weights: Optional[Sequence[float]] = None,
+    chunk_size: Optional[int] = None,
 ) -> BatchTreeReports:
     """Run the client side of the protocol and aggregate raw report sums.
 
@@ -167,7 +231,26 @@ def collect_tree_reports(
     with an arbitrary distribution over ``[0 .. log2 d]`` (an ablation knob;
     the per-order debias scale becomes ``1 / (Pr[h] * c_gap)``, keeping the
     estimator unbiased).
+
+    ``chunk_size`` switches to the streaming-aggregation mode: ``states`` may
+    then be an iterable of row chunks (or a full matrix, processed in
+    ``chunk_size``-row slices) and the per-node sums are folded into a running
+    accumulator without ever holding full-population report matrices — see
+    :mod:`repro.sim.chunked` for the seeding contract.
     """
+    if chunk_size is not None:
+        # Imported lazily: repro.sim.chunked is a consumer-layer module that
+        # itself imports this one (a module-level import would be cyclic).
+        from repro.sim.chunked import collect_tree_reports_chunked
+
+        return collect_tree_reports_chunked(
+            states,
+            params,
+            rng,
+            chunk_size=chunk_size,
+            family=family,
+            order_weights=order_weights,
+        )
     matrix = validate_states(states, params)
     n, d = matrix.shape
     rng = as_generator(rng)
@@ -175,18 +258,7 @@ def collect_tree_reports(
         family = default_family(params)
 
     num_orders = d.bit_length()
-    if order_weights is None:
-        probabilities = np.full(num_orders, 1.0 / num_orders)
-    else:
-        probabilities = np.asarray(order_weights, dtype=np.float64)
-        if probabilities.shape != (num_orders,):
-            raise ValueError(
-                f"order_weights must have length {num_orders}, got "
-                f"{probabilities.shape}"
-            )
-        if (probabilities <= 0).any():
-            raise ValueError("order_weights must all be positive")
-        probabilities = probabilities / probabilities.sum()
+    probabilities = order_probabilities(d, order_weights)
     orders = rng.choice(num_orders, size=n, p=probabilities)
 
     node_sums = [np.zeros(d >> order, dtype=np.float64) for order in range(num_orders)]
@@ -220,14 +292,21 @@ def run_batch(
     *,
     family: Optional[RandomizerFamily] = None,
     order_weights: Optional[Sequence[float]] = None,
+    chunk_size: Optional[int] = None,
 ) -> ProtocolResult:
     """Vectorized equivalent of :func:`repro.core.protocol.run_online`.
 
     Same arguments and same result type; see the module docstring for the
     execution strategy.  ``order_weights`` is the ablation knob documented on
-    :func:`collect_tree_reports`.
+    :func:`collect_tree_reports`; ``chunk_size`` selects the memory-bounded
+    streaming-aggregation mode (see :mod:`repro.sim.chunked`).
     """
     reports = collect_tree_reports(
-        states, params, rng, family=family, order_weights=order_weights
+        states,
+        params,
+        rng,
+        family=family,
+        order_weights=order_weights,
+        chunk_size=chunk_size,
     )
     return reports.to_result()

@@ -52,6 +52,8 @@ __all__ = [
 class _ComposedFamilyProtocol(LongitudinalProtocol):
     """Shared base for the hierarchical composed-randomizer mechanisms."""
 
+    supports_chunk_size = True
+
     def family(self, params: ProtocolParams) -> RandomizerFamily:
         """The randomizer family deployed client-side at these parameters."""
         raise NotImplementedError
@@ -63,20 +65,28 @@ class _ComposedFamilyProtocol(LongitudinalProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
-        return HierarchicalStreamingSession(params, self.family(params), rng)
+        return HierarchicalStreamingSession(
+            params, self.family(params), rng, chunk_size=chunk_size
+        )
 
     def run(
         self,
         states: np.ndarray,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolResult:
         # Imported here: repro.sim.batch_engine is a consumer-layer module
         # and protocol adapters are imported during repro.sim package init.
         from repro.sim.batch_engine import run_batch_engine
 
-        return run_batch_engine(states, params, rng, family=self.family(params))
+        return run_batch_engine(
+            states, params, rng, family=self.family(params), chunk_size=chunk_size
+        )
 
 
 class FutureRandProtocol(_ComposedFamilyProtocol):
@@ -105,6 +115,7 @@ class FutureRandObjectProtocol(FutureRandProtocol):
     """
 
     name = "future_rand_object"
+    supports_chunk_size = False  # per-user Client objects; nothing to chunk
     description = (
         "FutureRand via one Client state machine per user; the faithful "
         "O(n*d) reference driver."
@@ -114,6 +125,8 @@ class FutureRandObjectProtocol(FutureRandProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
         return ObjectStreamingSession(params, self.family(params), rng)
 
@@ -163,6 +176,8 @@ class ErlingssonProtocol(LongitudinalProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
         return ErlingssonStreamingSession(params, rng)
 
@@ -195,6 +210,8 @@ class NaiveSplitProtocol(LongitudinalProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
         return RepeatedRRSession(
             params, params.epsilon / params.d, "naive_rr_split", rng
@@ -229,6 +246,8 @@ class NaiveUnsplitProtocol(LongitudinalProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
         return RepeatedRRSession(
             params, params.epsilon, "naive_rr_unsplit", rng
@@ -263,6 +282,8 @@ class MemoizationProtocol(LongitudinalProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
         return MemoizationSession(params, rng)
 
@@ -296,6 +317,8 @@ class OfflineTreeProtocol(LongitudinalProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
         return BufferedOfflineSession(params, run_offline_tree, "offline_tree", rng)
 
@@ -328,6 +351,8 @@ class CentralTreeProtocol(LongitudinalProtocol):
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
         return CentralTreeStreamingSession(params, rng)
 

@@ -224,14 +224,26 @@ class LongitudinalProtocol(abc.ABC):
     online: ClassVar[bool] = True
     sequence_ldp: ClassVar[bool] = True
     description: ClassVar[str] = ""
+    #: Whether ``run`` accepts ``chunk_size`` (memory-bounded chunked
+    #: execution, :mod:`repro.sim.chunked`).  True on the batch-engine-backed
+    #: hierarchical adapters.
+    supports_chunk_size: ClassVar[bool] = False
 
     @abc.abstractmethod
     def prepare(
         self,
         params: ProtocolParams,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> ProtocolSession:
-        """Set up a streaming session (pre-draw randomness, spawn state)."""
+        """Set up a streaming session (pre-draw randomness, spawn state).
+
+        ``chunk_size`` is advisory: sessions that pre-draw per-user noise in
+        one bulk call use it to bound the transient working set of that draw
+        (the per-period state is O(n) either way); sessions with nothing to
+        chunk ignore it.
+        """
 
     @abc.abstractmethod
     def c_gap(self, params: ProtocolParams) -> float:

@@ -72,10 +72,14 @@ class HierarchicalStreamingSession(ProtocolSession):
         params: ProtocolParams,
         family: RandomizerFamily,
         rng: Optional[np.random.Generator] = None,
+        *,
+        chunk_size: Optional[int] = None,
     ) -> None:
         super().__init__(
             params, rng, c_gap=family.c_gap, family_name=family.name
         )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
         n, d = params.n, params.d
         num_orders = d.bit_length()
         rng = self._rng
@@ -93,7 +97,17 @@ class HierarchicalStreamingSession(ProtocolSession):
             )
         sampler = ComposedRandomizer(law)
         ones = np.ones(family.k, dtype=np.int8)
-        self._b_tilde = sampler.sample_batch(ones, n, rng)
+        if chunk_size is None:
+            self._b_tilde = sampler.sample_batch(ones, n, rng)
+        else:
+            # Bounded pre-draw: the retained b~ is (n, k) int8 either way, but
+            # sample_batch's float transients now peak at chunk_size rows.
+            self._b_tilde = np.empty((n, family.k), dtype=np.int8)
+            for start in range(0, n, chunk_size):
+                stop = min(start + chunk_size, n)
+                self._b_tilde[start:stop] = sampler.sample_batch(
+                    ones, stop - start, rng
+                )
         self._nnz = np.zeros(n, dtype=np.int64)
         self._boundary = np.zeros(n, dtype=np.int8)
         self._server = Server(d, family.c_gap)

@@ -30,6 +30,32 @@ the equivalence).
   one ``Server.receive_batch`` call per order group — millions of
   user-periods per second.
 
+Memory-bounded (chunked) execution
+----------------------------------
+
+Monolithic drivers materialize the full ``(n, d)`` population — ~10 GB at
+n=10^7, d=1024 — before randomizing anything.  :mod:`repro.sim.chunked` is
+the out-of-core path: population generators stream user chunks
+(``population.sample_chunks(n, chunk_size, seed)``) and
+:class:`~repro.sim.chunked.ChunkedTreeAccumulator` folds each chunk's dyadic
+node sums into O(d log d) running totals, so peak memory is bounded by a few
+chunk-sized buffers (a million-user, d=256 run fits comfortably under 1 GB —
+pinned by ``benchmarks/bench_chunked.py``).  Chunks are internally re-grouped
+into fixed seed blocks, which makes the output **bit-identical for any chunk
+size** and, for ``n <= block_rows``, bit-identical to the monolithic driver.
+
+Three knobs, three jobs — reach for them in this order:
+
+* ``chunk_size`` (``run_trials``/``sweep``/CLI ``--chunk-size``, the batch
+  engine, ``run_batch(..., chunk_size=...)``) bounds one process's **peak
+  memory**: use it when ``n * d`` (or the 8x-larger transient report/score
+  matrices) threatens RAM.
+* ``workers`` fans trial shards across **processes** for wall-clock speed;
+  it does not reduce per-process memory.  The two compose: shards bound a
+  worker's task, chunks bound its footprint.
+* ``shard_size`` controls artifact/resume **granularity** when a ``store``
+  persists results; it affects neither memory nor output bits.
+
 Scaling sweeps
 --------------
 
@@ -67,6 +93,12 @@ The CLI front-end::
 """
 
 from repro.sim.batch_engine import BatchSimulationEngine, run_batch_engine
+from repro.sim.chunked import (
+    ChunkedTreeAccumulator,
+    collect_tree_reports_chunked,
+    run_batch_chunked,
+    run_chunked_population,
+)
 from repro.sim.engine import SimulationEngine, StepSnapshot
 from repro.sim.parallel import default_workers, plan_shards
 from repro.sim.results import ResultTable, format_markdown_table
@@ -87,6 +119,10 @@ from repro.sim.store import (
 __all__ = [
     "BatchSimulationEngine",
     "run_batch_engine",
+    "ChunkedTreeAccumulator",
+    "collect_tree_reports_chunked",
+    "run_batch_chunked",
+    "run_chunked_population",
     "SimulationEngine",
     "StepSnapshot",
     "ResultTable",

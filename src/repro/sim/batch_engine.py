@@ -27,7 +27,7 @@ plus numpy kernels, reaching millions of user-periods per second.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 import numpy as np
 
@@ -36,7 +36,9 @@ from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult
 from repro.core.server import Server
 from repro.core.vectorized import group_partial_sums, validate_states
+from repro.sim.chunked import ChunkedTreeAccumulator, _iter_chunks
 from repro.sim.engine import OnlineEngineBase, StepSnapshot
+from repro.utils.validation import ensure_positive
 
 __all__ = ["BatchSimulationEngine", "run_batch_engine"]
 
@@ -50,6 +52,17 @@ class BatchSimulationEngine(OnlineEngineBase):
     snapshot stream — but ~2 orders of magnitude faster because clients are
     simulated as matrices rather than objects.
 
+    ``chunk_size`` bounds peak memory: users are processed in chunks whose
+    per-node report sums are folded into O(d log d) accumulators before the
+    online period loop replays them through the server
+    (:meth:`~repro.core.server.Server.receive_aggregate`), so the full-
+    population report matrices never exist.  ``run`` then also accepts an
+    *iterable* of user chunks (e.g. ``population.sample_chunks(...)``) in
+    place of a matrix — the fully out-of-core path where even the ``(n, d)``
+    states are never materialized.  The chunked mode consumes a different
+    (equally seeded-reproducible) randomness stream than the monolithic mode;
+    the output distribution is identical.
+
     >>> import numpy as np
     >>> from repro.workloads import BoundedChangePopulation
     >>> params = ProtocolParams(n=50, d=8, k=2, epsilon=1.0)
@@ -60,9 +73,25 @@ class BatchSimulationEngine(OnlineEngineBase):
     (8,)
     """
 
+    def __init__(
+        self,
+        params: ProtocolParams,
+        *,
+        family: Optional[RandomizerFamily] = None,
+        rng: Optional[np.random.Generator] = None,
+        report_drop_rate: float = 0.0,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            params, family=family, rng=rng, report_drop_rate=report_drop_rate
+        )
+        if chunk_size is not None:
+            ensure_positive(chunk_size, "chunk_size")
+        self._chunk_size = chunk_size
+
     def run(
         self,
-        states: np.ndarray,
+        states: Union[np.ndarray, Iterable[np.ndarray]],
         callback: Optional[Callable[[StepSnapshot], None]] = None,
     ) -> ProtocolResult:
         """Play the protocol over ``states``; invoke ``callback`` per period.
@@ -72,6 +101,8 @@ class BatchSimulationEngine(OnlineEngineBase):
         model, identical to the object engine's): the client consumed its
         pre-drawn noise either way, only delivery failed.
         """
+        if self._chunk_size is not None or not isinstance(states, np.ndarray):
+            return self._run_chunked(states, callback)
         matrix = validate_states(states, self._params)
         n, d = matrix.shape
         rng = self._rng
@@ -126,22 +157,92 @@ class BatchSimulationEngine(OnlineEngineBase):
             orders=orders,
         )
 
+    def _run_chunked(
+        self,
+        states: Union[np.ndarray, Iterable[np.ndarray]],
+        callback: Optional[Callable[[StepSnapshot], None]],
+    ) -> ProtocolResult:
+        """Memory-bounded run: fold chunks into node sums, then replay periods.
+
+        Phase A streams user chunks through a
+        :class:`~repro.sim.chunked.ChunkedTreeAccumulator` (drop injection
+        included, per-node delivered counts tracked); phase B replays the
+        online clock, delivering each node's aggregate the period its
+        interval completes — the same snapshot stream as the monolithic
+        mode, from O(d log d) state.
+        """
+        params = self._params
+        accumulator = ChunkedTreeAccumulator(
+            params,
+            self._rng,
+            family=self._family,
+            report_drop_rate=self._drop_rate,
+        )
+        for chunk in _iter_chunks(states, self._chunk_size):
+            accumulator.add(chunk)
+        reports = accumulator.finalize()
+
+        d = params.d
+        server = Server(d, self._family.c_gap)
+        estimates = np.empty(d, dtype=np.float64)
+        for t in range(1, d + 1):
+            server.advance_to(t)
+            delivered = 0
+            for order in range(d.bit_length()):
+                if t & ((1 << order) - 1):
+                    continue  # this group emits only at multiples of 2^order
+                j = t >> order
+                delivered += server.receive_aggregate(
+                    order,
+                    j,
+                    accumulator.node_sums[order][j - 1],
+                    accumulator.node_counts[order][j - 1],
+                )
+            estimates[t - 1] = server.estimate(t)
+            if callback is not None:
+                callback(
+                    StepSnapshot(
+                        t=t,
+                        estimate=estimates[t - 1],
+                        true_count=int(reports.true_counts[t - 1]),
+                        reports_this_period=delivered,
+                    )
+                )
+
+        return ProtocolResult(
+            estimates=estimates,
+            true_counts=reports.true_counts,
+            c_gap=self._family.c_gap,
+            family_name=self._family.name,
+            orders=reports.orders,
+        )
+
 
 def run_batch_engine(
-    states: np.ndarray,
+    states: Union[np.ndarray, Iterable[np.ndarray]],
     params: ProtocolParams,
     rng: Optional[np.random.Generator] = None,
     *,
     family: Optional[RandomizerFamily] = None,
     report_drop_rate: float = 0.0,
+    chunk_size: Optional[int] = None,
 ) -> ProtocolResult:
     """Functional adapter conforming to :class:`repro.sim.runner.ProtocolRunner`.
 
     ``run_trials`` / ``sweep`` / baselines all share the
     ``(states, params, rng) -> ProtocolResult`` signature; this wraps the
-    batched engine in it.
+    batched engine in it.  ``chunk_size`` selects the memory-bounded chunked
+    mode (see :class:`BatchSimulationEngine`).
     """
     engine = BatchSimulationEngine(
-        params, family=family, rng=rng, report_drop_rate=report_drop_rate
+        params,
+        family=family,
+        rng=rng,
+        report_drop_rate=report_drop_rate,
+        chunk_size=chunk_size,
     )
     return engine.run(states)
+
+
+#: Marker consumed by :mod:`repro.sim.runner`'s ``chunk_size`` plumbing.
+run_batch_engine.supports_chunk_size = True

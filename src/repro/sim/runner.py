@@ -28,6 +28,7 @@ shards whose artifacts already exist.
 
 from __future__ import annotations
 
+import functools
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Protocol, Sequence, Union
@@ -120,14 +121,55 @@ def _prepare_runner(runner: Optional[ProtocolLike]) -> tuple[str, Callable]:
     return resolve_runner(runner)
 
 
-def _params_payload(params: ProtocolParams) -> dict[str, Union[int, float]]:
-    return {
+def _apply_chunk_size(
+    name: str, runner: Callable, chunk_size: Optional[int]
+) -> Callable:
+    """Bind ``chunk_size`` onto a chunk-aware runner (or reject it loudly).
+
+    Chunk awareness is advertised with a ``supports_chunk_size`` attribute
+    (set on :func:`~repro.sim.batch_engine.run_batch_engine` and the
+    hierarchical protocol adapters); for protocol instances the bound ``run``
+    method is wrapped, keeping the partial picklable for the multiprocess
+    path (stateless registry singletons pickle by reference).
+    """
+    if chunk_size is None:
+        return runner
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+    if not getattr(runner, "supports_chunk_size", False):
+        from repro.protocols.registry import PROTOCOLS
+
+        chunk_aware = sorted(
+            key for key, protocol in PROTOCOLS.items()
+            if protocol.supports_chunk_size
+        )
+        raise ValueError(
+            f"protocol {name!r} does not support chunk_size; chunk-aware "
+            f"protocols: {', '.join(chunk_aware)}"
+        )
+    target = runner.run if hasattr(runner, "run") else runner
+    return functools.partial(target, chunk_size=chunk_size)
+
+
+def _params_payload(
+    params: ProtocolParams, chunk_size: Optional[int] = None
+) -> dict[str, Union[int, float]]:
+    payload: dict[str, Union[int, float]] = {
         "n": params.n,
         "d": params.d,
         "k": params.k,
         "epsilon": params.epsilon,
         "beta": params.beta,
     }
+    # Chunked execution consumes a different randomness stream than the
+    # monolithic path, so the artifact key must distinguish the two — but
+    # only as a boolean: chunked output is bit-identical for every chunk
+    # size, so a resumed sweep may change the knob (say, on a smaller
+    # machine) and still reuse its completed shards.  Omitted when unset to
+    # keep every historical (non-chunked) key byte-stable.
+    if chunk_size is not None:
+        payload["chunked"] = True
+    return payload
 
 
 @dataclass(frozen=True)
@@ -151,6 +193,7 @@ def _plan_point_shards(
     store: Optional[ResultStore],
     digest: Optional[str],
     point: tuple,
+    chunk_size: Optional[int] = None,
 ) -> list[_PlannedShard]:
     """Build the shard tasks (and keys) for one (protocol, sweep point)."""
     # Captured before spawning: a caller-supplied SeedSequence that has
@@ -165,7 +208,7 @@ def _plan_point_shards(
         if store is not None:
             key = ShardKey(
                 protocol=name,
-                params=_params_payload(params),
+                params=_params_payload(params, chunk_size),
                 seed_entropy=trial_seed.entropy,
                 spawn_key=tuple(trial_seed.spawn_key),
                 seed_spawn_base=spawn_base,
@@ -257,6 +300,7 @@ def run_trials(
     shard_size: Optional[int] = None,
     store: Optional[ResultStore] = None,
     resume: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> TrialStatistics:
     """Run ``runner`` repeatedly on the same workload with independent seeds.
 
@@ -268,8 +312,13 @@ def run_trials(
     ``workers > 1`` fans trial chunks across worker processes with
     bit-identical results for any worker count; ``store`` persists each chunk
     as a resumable artifact (``resume=False`` forces recomputation).
+    ``chunk_size`` runs each trial in the memory-bounded chunked mode (the
+    two knobs compose: shards bound a worker's *task*, chunks bound its
+    *peak memory*); the runner must be chunk-aware — see
+    :mod:`repro.sim.chunked`.
     """
     name, runner = _prepare_runner(runner)
+    runner = _apply_chunk_size(name, runner, chunk_size)
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     if not isinstance(seed, np.random.SeedSequence):
@@ -285,6 +334,7 @@ def run_trials(
         store=store,
         digest=states_digest(states) if store is not None else None,
         point=(name,),
+        chunk_size=chunk_size,
     )
     grouped = _execute_planned(planned, workers=workers, store=store, resume=resume)
     return TrialStatistics.from_metrics(grouped[(name,)])
@@ -362,6 +412,7 @@ def sweep(
     shard_size: Optional[int] = None,
     store: Optional[ResultStore] = None,
     resume: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> ResultTable:
     """Sweep one protocol parameter and tabulate every runner's error.
 
@@ -383,12 +434,20 @@ def sweep(
     artifacts exist are reloaded instead of recomputed, so an interrupted
     sweep continues where it stopped.
 
+    ``chunk_size`` executes every trial in the memory-bounded chunked mode
+    (chunk-aware runners only): ``workers`` fans shards across processes,
+    ``chunk_size`` bounds each process's peak memory.
+
     >>> params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
     >>> table = sweep(None, params, "k", [1, 2], trials=1, seed=0)
     >>> table.column("k")
     [1.0, 2.0]
     """
     runners = _normalize_runners(runners)
+    runners = {
+        name: _apply_chunk_size(name, runner, chunk_size)
+        for name, runner in runners.items()
+    }
     if parameter not in ("n", "d", "k", "epsilon"):
         raise ValueError(f"cannot sweep {parameter!r}; pick one of n/d/k/epsilon")
     if not values:
@@ -432,6 +491,7 @@ def sweep(
                     store=store,
                     digest=digest,
                     point=point,
+                    chunk_size=chunk_size,
                 )
             )
 

@@ -12,7 +12,7 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
-__all__ = ["RngFactory", "as_generator", "spawn_generators"]
+__all__ = ["RngFactory", "as_generator", "as_seed_sequence", "spawn_generators"]
 
 SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
 
@@ -26,6 +26,35 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def as_seed_sequence(
+    seed: SeedLike = None, *, reset_spawn_counter: bool = False
+) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a ``numpy.random.SeedSequence`` spawn-tree root.
+
+    ``None``/``int`` build a fresh root; a ``SeedSequence`` is returned
+    unchanged; a ``Generator`` derives a root from its own stream (the same
+    convention as :func:`spawn_generators`, so results stay reproducible
+    given the parent generator's state).
+
+    ``reset_spawn_counter=True`` returns a *counter-reset copy* of a
+    ``SeedSequence`` input (same entropy and spawn key, zero children
+    spawned).  ``SeedSequence.spawn`` mutates a child counter, so a node that
+    has already been spawned from would otherwise hand out different
+    children — callers that promise "the first ``n`` children of this node"
+    (the chunked pipeline's per-block seeding) reset the counter to keep
+    that promise independent of the object's history.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        if reset_spawn_counter and seed.n_children_spawned:
+            return np.random.SeedSequence(
+                entropy=seed.entropy, spawn_key=seed.spawn_key
+            )
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
 
 
 def spawn_generators(seed: SeedLike, count: int) -> list[np.random.Generator]:

@@ -11,29 +11,44 @@ introduction's motivating applications (frequently-visited URLs, telemetry):
   modulating per-user flip probabilities; produces non-stationary counts.
 * :class:`PeriodicPopulation` — users toggling on a shared period with phase
   jitter (e.g. weekday/weekend behaviour).
+* :class:`ChurnPopulation` — users arriving/departing mid-horizon with
+  per-user activity masks (fleet turnover; absent users hold 0).
 * :mod:`repro.workloads.scenarios` — named, documented scenario presets
-  (URL tracking, telemetry fleet) used by the examples.
+  (URL tracking, telemetry fleet, churn) in the :data:`SCENARIOS` registry.
 * :mod:`repro.workloads.streams` — online iteration helpers feeding state
   matrices to clients one period at a time.
+
+Every generator also exposes ``sample_chunks(n, chunk_size, seed)``: an
+out-of-core stream of user chunks whose concatenation is bit-identical for
+any chunk size (fixed per-block seeding from a root ``SeedSequence``) — the
+entry point of the memory-bounded pipeline in :mod:`repro.sim.chunked`.
 """
 
 from repro.workloads.generators import (
     BoundedChangePopulation,
+    ChurnPopulation,
     PeriodicPopulation,
+    Population,
     TrendPopulation,
 )
 from repro.workloads.scenarios import (
+    SCENARIOS,
     Scenario,
+    churn_scenario,
     telemetry_fleet_scenario,
     url_tracking_scenario,
 )
 from repro.workloads.streams import iterate_periods, population_counts
 
 __all__ = [
+    "Population",
     "BoundedChangePopulation",
+    "ChurnPopulation",
     "PeriodicPopulation",
     "TrendPopulation",
     "Scenario",
+    "SCENARIOS",
+    "churn_scenario",
     "telemetry_fleet_scenario",
     "url_tracking_scenario",
     "iterate_periods",

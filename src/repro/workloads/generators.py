@@ -3,23 +3,90 @@
 Every generator guarantees each user's Boolean sequence changes at most ``k``
 times over the ``d`` periods — the structural assumption of the longitudinal
 collection problem (Section 2).  Generators return ``(n, d)`` int8 matrices.
+
+For populations too large to materialize, every generator also supports
+:meth:`Population.sample_chunks`: an out-of-core stream of row chunks whose
+concatenation is *bit-identical for any chunk size* (randomness is attached
+to fixed user blocks spawned from a root ``SeedSequence``, and chunks are
+re-slices of the block stream — see :mod:`repro.utils.chunking`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.utils.rng import as_generator
+from repro.utils.chunking import DEFAULT_BLOCK_ROWS, iter_row_groups, plan_row_blocks
+from repro.utils.rng import SeedLike, as_generator, as_seed_sequence
 from repro.utils.validation import check_power_of_two, check_probability, ensure_positive
 
-__all__ = ["BoundedChangePopulation", "TrendPopulation", "PeriodicPopulation"]
+__all__ = [
+    "Population",
+    "BoundedChangePopulation",
+    "TrendPopulation",
+    "PeriodicPopulation",
+    "ChurnPopulation",
+]
 
 _CHANGE_TIME_MODES = ("uniform", "early", "late", "bursty")
 
 
-class BoundedChangePopulation:
+class Population:
+    """Shared out-of-core sampling surface for every population generator.
+
+    Subclasses provide ``sample(n, rng) -> (n, d) int8``; this base adds
+    :meth:`sample_chunks`, the memory-bounded streaming equivalent.
+    """
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def sample_chunks(
+        self,
+        n: int,
+        chunk_size: int,
+        seed: SeedLike = None,
+        *,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ) -> Iterator[np.ndarray]:
+        """Yield the population in ``chunk_size``-row pieces, out of core.
+
+        Users are generated in fixed blocks of ``block_rows``: block ``b``
+        is drawn by ``self.sample`` with a generator seeded from the ``b``-th
+        child of the root ``SeedSequence`` (``as_seed_sequence(seed)``), and
+        chunks are re-slices of the block stream.  Consequences:
+
+        * the concatenated output depends only on ``(n, seed, block_rows)``
+          — **any chunk size yields bit-identical users**;
+        * peak memory is O(``max(chunk_size, block_rows) * d``), never
+          O(``n * d``);
+        * for ``n <= block_rows`` the stream concatenates to exactly the
+          monolithic ``self.sample(n, np.random.default_rng(root.spawn(1)[0]))``
+          — the chunked and in-memory paths agree bit for bit.
+
+        Users are i.i.d. in every generator here, so per-block seeding is
+        distributionally identical to one monolithic draw.  A ``SeedSequence``
+        input is counter-reset before spawning (the stream is always the
+        node's *first* children), so the same node always yields the same
+        population regardless of earlier spawns from it.
+        """
+        n = ensure_positive(n, "n")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        blocks = plan_row_blocks(n, block_rows)
+        children = as_seed_sequence(seed, reset_spawn_counter=True).spawn(
+            len(blocks)
+        )
+
+        def block_stream() -> Iterator[np.ndarray]:
+            for (start, stop), child in zip(blocks, children):
+                yield self.sample(stop - start, np.random.default_rng(child))
+
+        yield from iter_row_groups(block_stream(), chunk_size)
+
+
+class BoundedChangePopulation(Population):
     """Users with i.i.d. change times under a hard ``k``-change budget.
 
     Parameters
@@ -159,16 +226,24 @@ class BoundedChangePopulation:
 
         Each user toggles at ``budget`` uniformly chosen times; a user starting
         at 1 additionally toggles at t=1.  States are the toggle-count parity.
+
+        A user's toggle set is the ``budget`` smallest scores of its row —
+        computed by scattering the sorted column positions back through one
+        ``argsort`` (bit-identical to the historical double-argsort rank
+        test, at roughly half the transient memory), with the parity taken by
+        an in-type xor accumulation instead of an int64 ``cumsum``.
         """
         scores = rng.random((n, self._d))
         scores[starts, 0] = np.inf  # t=1 is reserved for the start toggle
-        ranks = scores.argsort(axis=1).argsort(axis=1)
-        toggles = ranks < budgets[:, np.newaxis]
+        order = scores.argsort(axis=1)
+        toggles = np.zeros((n, self._d), dtype=bool)
+        rows = np.arange(n)[:, np.newaxis]
+        toggles[rows, order] = np.arange(self._d)[np.newaxis, :] < budgets[:, np.newaxis]
         toggles[starts, 0] = True
-        return (np.cumsum(toggles, axis=1) % 2).astype(np.int8)
+        return np.logical_xor.accumulate(toggles, axis=1).astype(np.int8)
 
 
-class TrendPopulation:
+class TrendPopulation(Population):
     """A global adoption curve with per-user change budgets.
 
     Each user independently follows the population trend ``curve(t)`` (the
@@ -229,7 +304,7 @@ class TrendPopulation:
         return values[rows, latest].astype(np.int8)
 
 
-class PeriodicPopulation:
+class PeriodicPopulation(Population):
     """Users toggling with a shared period and random phases.
 
     Models weekday/weekend-style behaviour.  The change budget caps how many
@@ -261,3 +336,118 @@ class PeriodicPopulation:
                 cursor = t - 1
             states[user, cursor:] = value
         return states
+
+
+class ChurnPopulation(Population):
+    """Users arriving and departing mid-horizon, with per-user activity masks.
+
+    Models fleet churn (devices enrolling/retiring, accounts created/deleted):
+    each user is *active* over one contiguous window ``[arrival .. departure)``
+    and holds value 0 outside it — an absent user contributes nothing to the
+    tracked count.  Inside the window the user toggles at uniformly random
+    times, but never more than ``k - 1`` times: the last unit of the change
+    budget is reserved for the forced drop to 0 at departure, so every user
+    respects the hard ``k``-change budget by construction.
+
+    Parameters
+    ----------
+    d:
+        Horizon (power of two).
+    k:
+        Maximum changes per user (must be at least 2: one toggle into the
+        active value plus the departure drop).
+    arrival_window:
+        Arrivals are uniform on ``[1 .. arrival_window]`` (default ``d``,
+        i.e. users may arrive at any period).
+    mean_lifetime:
+        Mean of the geometric lifetime distribution (default ``d // 2``);
+        lifetimes are truncated at the horizon.
+
+    >>> population = ChurnPopulation(d=16, k=3)
+    >>> states = population.sample(10, np.random.default_rng(0))
+    >>> states.shape
+    (10, 16)
+    """
+
+    def __init__(
+        self,
+        d: int,
+        k: int,
+        *,
+        arrival_window: Optional[int] = None,
+        mean_lifetime: Optional[int] = None,
+    ) -> None:
+        self._d = check_power_of_two(d, "d")
+        self._k = ensure_positive(k, "k")
+        if self._k < 2:
+            raise ValueError(
+                f"k must be at least 2 for churn (one toggle plus the "
+                f"departure drop), got {k}"
+            )
+        if self._k > self._d:
+            raise ValueError(f"k={k} cannot exceed d={d}")
+        self._arrival_window = (
+            int(arrival_window) if arrival_window is not None else self._d
+        )
+        if not 1 <= self._arrival_window <= self._d:
+            raise ValueError(
+                f"arrival_window must be in [1, {self._d}], "
+                f"got {self._arrival_window}"
+            )
+        self._mean_lifetime = (
+            int(mean_lifetime) if mean_lifetime is not None else max(self._d // 2, 1)
+        )
+        if self._mean_lifetime < 1:
+            raise ValueError(
+                f"mean_lifetime must be positive, got {self._mean_lifetime}"
+            )
+
+    @property
+    def d(self) -> int:
+        """Horizon."""
+        return self._d
+
+    @property
+    def k(self) -> int:
+        """Per-user change budget."""
+        return self._k
+
+    def sample_with_activity(
+        self, n: int, rng: Optional[np.random.Generator] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(states, active)``: the value matrix and the activity mask.
+
+        ``active[u, t-1]`` is true while user ``u`` is present; ``states`` is
+        identically 0 wherever ``active`` is false.  Fully vectorized.
+        """
+        n = ensure_positive(n, "n")
+        rng = as_generator(rng)
+        d = self._d
+        arrivals = rng.integers(1, self._arrival_window + 1, size=n)
+        lifetimes = rng.geometric(1.0 / self._mean_lifetime, size=n)
+        departures = np.minimum(arrivals + lifetimes, d + 1)
+
+        columns = np.arange(d)[np.newaxis, :]
+        active = (columns >= arrivals[:, np.newaxis] - 1) & (
+            columns < departures[:, np.newaxis] - 1
+        )
+        widths = departures - arrivals  # active periods per user, always >= 1
+        counts = rng.integers(0, np.minimum(self._k - 1, widths) + 1)
+
+        # Toggle at the `counts` smallest-scored *active* cells of each row
+        # (inactive cells are pushed past every rank with an infinite score).
+        scores = rng.random((n, d))
+        scores[~active] = np.inf
+        order = scores.argsort(axis=1)
+        toggles = np.zeros((n, d), dtype=bool)
+        rows = np.arange(n)[:, np.newaxis]
+        toggles[rows, order] = columns < counts[:, np.newaxis]
+        states = np.logical_xor.accumulate(toggles, axis=1)
+        # Departure: an absent user holds 0.  If the parity was 1 at the last
+        # active period this zeroing is the user's reserved k-th change.
+        states &= active
+        return states.astype(np.int8), active
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return the ``(n, d)`` state matrix (activity mask discarded)."""
+        return self.sample_with_activity(n, rng)[0]

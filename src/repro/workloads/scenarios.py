@@ -15,12 +15,22 @@ import numpy as np
 
 from repro.core.params import ProtocolParams
 from repro.utils.rng import as_generator
-from repro.workloads.generators import BoundedChangePopulation, TrendPopulation
+from repro.workloads.generators import (
+    BoundedChangePopulation,
+    ChurnPopulation,
+    TrendPopulation,
+)
 
 if TYPE_CHECKING:  # runtime import would be cyclic at package-init time
     from repro.protocols import ProtocolLike
 
-__all__ = ["Scenario", "url_tracking_scenario", "telemetry_fleet_scenario"]
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "url_tracking_scenario",
+    "telemetry_fleet_scenario",
+    "churn_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -192,3 +202,45 @@ def telemetry_fleet_scenario(
         params=params,
         states=states,
     )
+
+
+def churn_scenario(
+    n: int = 20_000,
+    d: int = 256,
+    k: int = 6,
+    epsilon: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Scenario:
+    """A churning fleet: users arrive and depart mid-horizon.
+
+    Devices enroll at random times and retire after a geometric lifetime; an
+    absent device holds value 0 (per-user activity masks, see
+    :class:`~repro.workloads.generators.ChurnPopulation`).  The tracked count
+    therefore rises and falls with fleet composition, not just with value
+    changes — the population-turnover stress case missing from the stationary
+    scenarios.
+    """
+    rng = as_generator(rng)
+    params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+    population = ChurnPopulation(d, k)
+    states = population.sample(n, rng)
+    return Scenario(
+        name="churn",
+        description=(
+            "Devices enroll and retire mid-horizon; an absent device "
+            "contributes 0. The server monitors a count driven by fleet "
+            "turnover as much as by value changes."
+        ),
+        params=params,
+        states=states,
+    )
+
+
+#: Named scenario presets, one factory per workload family — the registry the
+#: docs and examples enumerate.  Every factory shares the
+#: ``(n, d, k, epsilon, rng) -> Scenario`` signature.
+SCENARIOS = {
+    "url_tracking": url_tracking_scenario,
+    "telemetry_fleet": telemetry_fleet_scenario,
+    "churn": churn_scenario,
+}

@@ -177,3 +177,101 @@ class TestSweepAndResults:
         ) == 0
         assert "fitted exponent" in capsys.readouterr().out
         assert any((store_dir / "shards").glob("*.json"))
+
+
+class TestErrorPaths:
+    """Every failure exits non-zero with a readable message, never a traceback."""
+
+    def test_results_merge_missing_store(self, capsys, tmp_path):
+        out_path = tmp_path / "merged.json"
+        missing = tmp_path / "no-such-store"
+        assert main(["results", "merge", str(out_path), str(missing)]) == 1
+        error = capsys.readouterr().err
+        assert "no such table file or result store" in error
+        assert str(missing) in error
+        assert not out_path.exists()
+
+    def test_results_merge_empty_store(self, capsys, tmp_path):
+        empty = tmp_path / "empty-store"
+        empty.mkdir()
+        assert main(["results", "merge", str(tmp_path / "m.json"), str(empty)]) == 1
+        error = capsys.readouterr().err
+        assert "contains no saved tables" in error
+
+    def test_results_merge_expands_store_directories(self, capsys, tmp_path):
+        store_dir = tmp_path / "results"
+        assert main([*_SWEEP_ARGS, "--out", str(store_dir)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "merged.json"
+        assert main(["results", "merge", str(out_path), str(store_dir)]) == 0
+        assert "4 rows" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_results_merge_unreadable_table(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json at all")
+        assert main(["results", "merge", str(tmp_path / "m.json"), str(garbage)]) == 1
+        assert "cannot read table" in capsys.readouterr().err
+
+    def test_results_show_missing_path(self, capsys, tmp_path):
+        assert main(["results", "show", str(tmp_path / "nope.json")]) == 1
+        assert "no such file or result store" in capsys.readouterr().err
+
+    def test_run_protocol_unknown_name_exits_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-protocol", "definitely-not-registered"])
+        assert excinfo.value.code == 2
+        error = capsys.readouterr().err
+        assert "invalid choice" in error
+        assert "future_rand" in error  # the message lists the registry
+
+    def test_chunk_size_zero_is_rejected_with_readable_message(self, capsys):
+        for command in (
+            ["sweep", "--parameter", "k", "--values", "2", "--chunk-size", "0"],
+            ["simulate", "--chunk-size", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(command)
+            assert excinfo.value.code == 2
+            assert "must be a positive integer" in capsys.readouterr().err
+
+    def test_sweep_chunk_size_with_non_chunkable_protocol(self, capsys):
+        code = main(
+            ["sweep", "--protocols", "erlingsson", "--parameter", "k",
+             "--values", "2", "--n", "200", "--d", "8", "--trials", "1",
+             "--chunk-size", "64"]
+        )
+        assert code == 2
+        error = capsys.readouterr().err
+        assert "not support --chunk-size" in error
+        assert "future_rand" in error  # names the chunk-aware alternatives
+
+
+class TestChunkSize:
+    def test_simulate_chunked_future_rand(self, capsys):
+        assert main(
+            ["simulate", "--n", "1500", "--d", "16", "--k", "3",
+             "--chunk-size", "256"]
+        ) == 0
+        assert "max |error|" in capsys.readouterr().out
+
+    def test_simulate_chunked_with_consistency(self, capsys):
+        assert main(
+            ["simulate", "--n", "1000", "--d", "16", "--k", "2",
+             "--chunk-size", "128", "--consistency"]
+        ) == 0
+        assert "max |error|" in capsys.readouterr().out
+
+    def test_simulate_chunked_non_chunkable_protocol(self, capsys):
+        assert main(
+            ["simulate", "--protocol", "memoization", "--n", "500", "--d", "16",
+             "--chunk-size", "64"]
+        ) == 2
+        assert "does not support --chunk-size" in capsys.readouterr().err
+
+    def test_sweep_chunked(self, capsys):
+        assert main(
+            ["sweep", "--parameter", "k", "--values", "2", "4", "--n", "400",
+             "--d", "16", "--trials", "1", "--chunk-size", "128"]
+        ) == 0
+        assert "future_rand" in capsys.readouterr().out

@@ -14,6 +14,7 @@ import pytest
 MODULES_WITH_EXAMPLES = [
     "repro.utils.numerics",
     "repro.utils.rng",
+    "repro.utils.chunking",
     "repro.dyadic.intervals",
     "repro.dyadic.derivative",
     "repro.dyadic.partial_sums",

@@ -1,0 +1,129 @@
+"""Property tests: chunked population sampling is lossless and chunk-invariant.
+
+The contract of ``Population.sample_chunks`` (the entry point of the
+out-of-core pipeline): for a fixed ``(n, seed, block_rows)`` the concatenated
+stream is bit-identical for *any* chunk size, and — because randomness is
+attached to fixed user blocks — a single-block stream concatenates to exactly
+the monolithic ``sample`` drawn from the first spawned child.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import (
+    BoundedChangePopulation,
+    ChurnPopulation,
+    PeriodicPopulation,
+    TrendPopulation,
+)
+
+
+def _make_population(kind: str, d: int, k: int):
+    if kind.startswith("bounded-"):
+        return BoundedChangePopulation(d, k, mode=kind.split("-", 1)[1])
+    if kind.startswith("trend-"):
+        return TrendPopulation(d, k, curve=kind.split("-", 1)[1])
+    if kind == "periodic":
+        return PeriodicPopulation(d, k)
+    if kind == "churn":
+        return ChurnPopulation(d, max(k, 2))
+    raise AssertionError(kind)
+
+
+_ALL_KINDS = [
+    "bounded-uniform",
+    "bounded-early",
+    "bounded-late",
+    "bounded-bursty",
+    "trend-sigmoid",
+    "trend-linear",
+    "trend-spike",
+    "periodic",
+    "churn",
+]
+
+
+@pytest.mark.parametrize("kind", _ALL_KINDS)
+def test_concatenates_to_monolithic_sample(kind):
+    """One block => the stream equals ``sample`` seeded from the spawn child."""
+    population = _make_population(kind, d=16, k=3)
+    n, seed = 57, 1234
+    chunks = list(population.sample_chunks(n, 10, seed, block_rows=n))
+    assert sum(chunk.shape[0] for chunk in chunks) == n
+    stream = np.concatenate(chunks)
+    child = np.random.SeedSequence(seed).spawn(1)[0]
+    monolithic = population.sample(n, np.random.default_rng(child))
+    np.testing.assert_array_equal(stream, monolithic)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kind=st.sampled_from(_ALL_KINDS),
+    log_d=st.integers(min_value=1, max_value=5),
+    k=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    chunk_size=st.one_of(
+        st.just(1), st.sampled_from([7, 13]), st.integers(min_value=61, max_value=80)
+    ),
+    block_rows=st.sampled_from([4, 17, 64]),
+)
+def test_chunk_size_never_changes_the_population(
+    kind, log_d, k, n, seed, chunk_size, block_rows
+):
+    """Arbitrary chunk sizes (1, primes, > n) reproduce identical users."""
+    d = 1 << log_d
+    k = min(k, d)
+    population = _make_population(kind, d, k)
+    reference = np.concatenate(
+        list(population.sample_chunks(n, n, seed, block_rows=block_rows))
+    )
+    assert reference.shape == (n, d)
+    varied = np.concatenate(
+        list(population.sample_chunks(n, chunk_size, seed, block_rows=block_rows))
+    )
+    np.testing.assert_array_equal(reference, varied)
+
+
+@pytest.mark.parametrize("kind", ["bounded-uniform", "churn"])
+def test_multi_block_stream_is_blockwise(kind):
+    """Blocks are independent draws: block b equals sample() under child b."""
+    population = _make_population(kind, d=8, k=2)
+    n, block_rows, seed = 25, 10, 7
+    stream = np.concatenate(list(population.sample_chunks(n, 6, seed, block_rows=block_rows)))
+    children = np.random.SeedSequence(seed).spawn(3)
+    expected = np.concatenate(
+        [
+            population.sample(rows, np.random.default_rng(child))
+            for rows, child in zip((10, 10, 5), children)
+        ]
+    )
+    np.testing.assert_array_equal(stream, expected)
+
+
+def test_rejects_bad_chunk_size():
+    population = BoundedChangePopulation(8, 2)
+    with pytest.raises(ValueError, match="chunk_size"):
+        list(population.sample_chunks(10, 0, 0))
+    with pytest.raises(ValueError, match="n"):
+        list(population.sample_chunks(0, 4, 0))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    kind=st.sampled_from(_ALL_KINDS),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_chunked_users_respect_the_change_budget(kind, seed):
+    """Every streamed chunk is a valid bounded-change population slice."""
+    d, k = 16, 3
+    population = _make_population(kind, d, k)
+    for chunk in population.sample_chunks(40, 9, seed, block_rows=16):
+        assert chunk.dtype == np.int8
+        assert ((chunk == 0) | (chunk == 1)).all()
+        changes = np.count_nonzero(np.diff(chunk, axis=1, prepend=0), axis=1)
+        assert changes.max(initial=0) <= max(k, 2 if kind == "churn" else k)
