@@ -133,10 +133,12 @@ class CalibratedFutureRandFamily(RandomizerFamily):
         self,
         values: np.ndarray,
         rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
     ) -> np.ndarray:
         """Vectorized path over the calibrated law."""
         return randomize_matrix_with_sampler(
-            values, self._k, self._sampler, as_generator(rng)
+            values, self._k, self._sampler, as_generator(rng), kernel=kernel
         )
 
 

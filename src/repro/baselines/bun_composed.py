@@ -147,11 +147,13 @@ class BunComposedFamily(RandomizerFamily):
         self,
         values: np.ndarray,
         rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
     ) -> np.ndarray:
         """Vectorized path sharing FutureRand's kernel over the Bun law."""
         from repro.core.future_rand import randomize_matrix_with_sampler
         from repro.utils.rng import as_generator
 
         return randomize_matrix_with_sampler(
-            values, self._k, self._sampler, as_generator(rng)
+            values, self._k, self._sampler, as_generator(rng), kernel=kernel
         )

@@ -1,0 +1,255 @@
+"""Machine-readable kernel benchmark trajectory (the ``repro bench`` engine).
+
+Times ``RandomizerFamily.randomize_matrix`` — the wall-clock bottleneck of
+every paper-scale run — for each registered kernel backend over an
+``(n, d, k, epsilon)`` grid and emits ``BENCH_kernels.json``: per-kernel
+seconds and ns/report, per-point reference-vs-fast speedups, and provenance
+(git SHA, timestamp, numpy/python versions).  Each emitted file is one point
+of the repository's performance trajectory; CI uploads it as an artifact so
+regressions are visible as a time series rather than anecdotes.
+
+Scales:
+
+* ``smoke`` — a tiny point for tests/CI sanity (~a second);
+* ``quick`` — the headline point only (``n=1e5, d=1024``), the configuration
+  the >= 3x fast-kernel speedup target is pinned to;
+* ``full`` — the headline plus a small n/d/k grid.
+
+The speedup *assertion* is separate from the measurement: JSON is always
+emitted, and :func:`repro.cli.main` only enforces the floor when the host
+has more than one usable CPU (single-CPU containers time too noisily to
+gate on — the ``default_workers()`` guard pattern).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.future_rand import FutureRandFamily
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "HEADLINE_POINT",
+    "HEADLINE_SPEEDUP_FLOOR",
+    "bench_grid",
+    "git_sha",
+    "headline_speedup",
+    "run_kernel_bench",
+    "sparse_sign_matrix",
+    "write_bench_report",
+]
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: The perf-trajectory reference configuration for ``randomize_matrix``.
+HEADLINE_POINT = {"n": 100_000, "d": 1024, "k": 8, "epsilon": 1.0}
+
+#: Required fast-over-reference speedup at the headline point.
+HEADLINE_SPEEDUP_FLOOR = 3.0
+
+_SCALES = ("smoke", "quick", "full")
+
+
+def bench_grid(scale: str = "quick") -> list[dict]:
+    """Return the ``(n, d, k, epsilon, rounds)`` points for ``scale``."""
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    if scale == "smoke":
+        return [{"n": 2_000, "d": 64, "k": 4, "epsilon": 1.0, "rounds": 1}]
+    headline = dict(HEADLINE_POINT, rounds=1)
+    if scale == "quick":
+        return [headline]
+    return [
+        {"n": 20_000, "d": 256, "k": 4, "epsilon": 1.0, "rounds": 2},
+        {"n": 20_000, "d": 256, "k": 16, "epsilon": 0.5, "rounds": 2},
+        {"n": 50_000, "d": 512, "k": 8, "epsilon": 1.0, "rounds": 2},
+        headline,
+    ]
+
+
+def sparse_sign_matrix(
+    n: int, d: int, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A ``(n, d)`` matrix in {-1, 0, 1} with at most ``k`` non-zeros per row.
+
+    The shape ``randomize_matrix`` sees in production: per-user partial-sum
+    rows with ``<= k`` boundary changes scattered across the horizon
+    (duplicate column draws simply collapse, keeping rows k-sparse).
+    """
+    matrix = np.zeros((n, d), dtype=np.int8)
+    columns = rng.integers(0, d, size=(n, k))
+    signs = (rng.integers(0, 2, size=(n, k), dtype=np.int8) << 1) - 1
+    matrix[np.repeat(np.arange(n), k), columns.ravel()] = signs.ravel()
+    return matrix
+
+
+def git_sha() -> str:
+    """The repository HEAD this measurement belongs to (``"unknown"`` offline)."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else "unknown"
+
+
+def _time_randomize_matrix(
+    kernel: str,
+    point: dict,
+    seed: int,
+) -> float:
+    """Best-of-``rounds`` seconds for one (kernel, grid point) cell."""
+    family = FutureRandFamily(point["k"], point["epsilon"])
+    matrix = sparse_sign_matrix(
+        point["n"], point["d"], point["k"], np.random.default_rng(seed)
+    )
+    best = float("inf")
+    for round_index in range(point.get("rounds", 1)):
+        rng = np.random.default_rng(seed + 1 + round_index)
+        start = time.perf_counter()
+        output = family.randomize_matrix(matrix, rng, kernel=kernel)
+        elapsed = time.perf_counter() - start
+        if output.shape != matrix.shape:
+            raise RuntimeError(
+                f"kernel {kernel!r} returned shape {output.shape}, "
+                f"expected {matrix.shape}"
+            )
+        best = min(best, elapsed)
+    return best
+
+
+def run_kernel_bench(
+    *,
+    scale: str = "quick",
+    kernels: Sequence[str] = ("reference", "fast"),
+    seed: int = 0,
+) -> dict:
+    """Run the grid and return the ``BENCH_kernels.json`` payload."""
+    grid = bench_grid(scale)
+    results = []
+    for point in grid:
+        for kernel in kernels:
+            seconds = _time_randomize_matrix(kernel, point, seed)
+            reports = point["n"] * point["d"]
+            results.append(
+                {
+                    "kernel": kernel,
+                    "n": point["n"],
+                    "d": point["d"],
+                    "k": point["k"],
+                    "epsilon": point["epsilon"],
+                    "rounds": point.get("rounds", 1),
+                    "seconds": seconds,
+                    "ns_per_report": seconds / reports * 1e9,
+                }
+            )
+    speedups = []
+    for point in grid:
+        cells = {
+            row["kernel"]: row
+            for row in results
+            if (row["n"], row["d"], row["k"], row["epsilon"])
+            == (point["n"], point["d"], point["k"], point["epsilon"])
+        }
+        if "reference" in cells and "fast" in cells:
+            speedups.append(
+                {
+                    "n": point["n"],
+                    "d": point["d"],
+                    "k": point["k"],
+                    "epsilon": point["epsilon"],
+                    "reference_seconds": cells["reference"]["seconds"],
+                    "fast_seconds": cells["fast"]["seconds"],
+                    "speedup": cells["reference"]["seconds"]
+                    / cells["fast"]["seconds"],
+                }
+            )
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "benchmark": "randomize_matrix",
+        "scale": scale,
+        "seed": seed,
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "headline": dict(HEADLINE_POINT),
+        "headline_speedup_floor": HEADLINE_SPEEDUP_FLOOR,
+        "results": results,
+        "speedups": speedups,
+    }
+    payload["headline_speedup"] = headline_speedup(payload)
+    return payload
+
+
+def headline_speedup(payload: dict) -> Optional[float]:
+    """The fast-over-reference speedup at the headline point, if measured."""
+    target = payload.get("headline", HEADLINE_POINT)
+    for row in payload.get("speedups", []):
+        if all(row[field] == target[field] for field in ("n", "d", "k", "epsilon")):
+            return row["speedup"]
+    return None
+
+
+def write_bench_report(payload: dict, path) -> Path:
+    """Write the payload as pretty JSON; return the path."""
+    out_path = Path(path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return out_path
+
+
+def format_bench_table(payload: dict) -> str:
+    """Human-readable summary of a bench payload (printed by the CLI)."""
+    lines = [
+        f"randomize_matrix kernel trajectory "
+        f"(scale={payload['scale']}, git={payload['git_sha'][:12]})",
+        f"{'kernel':<10} {'n':>8} {'d':>6} {'k':>4} {'eps':>5} "
+        f"{'seconds':>9} {'ns/report':>10}",
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['kernel']:<10} {row['n']:>8,} {row['d']:>6} {row['k']:>4} "
+            f"{row['epsilon']:>5.2f} {row['seconds']:>9.3f} "
+            f"{row['ns_per_report']:>10.2f}"
+        )
+    for row in payload["speedups"]:
+        lines.append(
+            f"speedup fast vs reference at n={row['n']:,} d={row['d']} "
+            f"k={row['k']} eps={row['epsilon']}: {row['speedup']:.2f}x"
+        )
+    headline = payload.get("headline_speedup")
+    if headline is not None:
+        lines.append(
+            f"headline (n={payload['headline']['n']:,}, "
+            f"d={payload['headline']['d']}): {headline:.2f}x "
+            f"(target >= {payload['headline_speedup_floor']:.1f}x)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    """Tiny standalone entry point (``python -m repro.bench``)."""
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,6 +12,8 @@ Usage::
     repro cgap --k 64 --epsilon 1.0 # print exact randomizer constants
     repro sweep --protocols future_rand erlingsson --parameter k \\
         --values 2 8 32 --workers 4 --out results/ --resume
+    repro sweep ... --kernel fast   # high-throughput randomizer backend
+    repro bench --scale quick       # emit BENCH_kernels.json (perf trajectory)
     repro results show results/     # inspect persisted sweep artifacts
     repro results merge merged.json results/tables/*.json
 """
@@ -37,6 +39,28 @@ def _chunk_aware_protocols() -> list[str]:
         name
         for name, protocol in PROTOCOLS.items()
         if protocol.supports_chunk_size
+    )
+
+
+def _kernel_aware_protocols() -> list[str]:
+    """Registry names that support randomizer-kernel selection."""
+    return sorted(
+        name
+        for name, protocol in PROTOCOLS.items()
+        if protocol.supports_kernel
+    )
+
+
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.kernels import available_kernels
+
+    parser.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=None,
+        help="randomizer kernel backend (default: the bit-exact reference "
+        "path; 'fast' is statistically identical and much faster — "
+        "kernel-aware protocols only)",
     )
 
 
@@ -125,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="process users in chunks of this size (memory-bounded "
         "execution; chunk-aware protocols only)",
     )
+    _add_kernel_argument(simulate_parser)
 
     protocols_parser = subparsers.add_parser(
         "protocols", help="list the protocol registry and its capabilities"
@@ -159,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the streaming Session API period by period (prints the "
         "online estimate trajectory)",
     )
+    _add_kernel_argument(run_protocol_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -207,6 +233,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action=argparse.BooleanOptionalAction, default=True,
         help="skip shards whose artifacts already exist in --out "
         "(--no-resume recomputes and overwrites)",
+    )
+    _add_kernel_argument(sweep_parser)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="benchmark the randomizer kernel backends and emit the "
+        "machine-readable BENCH_kernels.json perf-trajectory point",
+    )
+    bench_parser.add_argument(
+        "--scale", choices=("smoke", "quick", "full"), default="quick",
+        help="smoke: tiny CI sanity point; quick: the headline "
+        "n=1e5/d=1024 point (default); full: headline + n/d/k grid",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_const", const="quick", dest="scale",
+        help="shorthand for --scale quick",
+    )
+    bench_parser.add_argument(
+        "--full", action="store_const", const="full", dest="scale",
+        help="shorthand for --scale full",
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_kernels.json",
+        help="output JSON path (default: BENCH_kernels.json)",
+    )
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument(
+        "--assert-speedup", choices=("auto", "on", "off"), default="auto",
+        help="enforce the >=3x fast-kernel headline speedup floor: 'auto' "
+        "(default) asserts only on hosts with more than one usable CPU "
+        "(single-CPU containers time too noisily to gate on), 'on' always, "
+        "'off' never; the JSON is emitted regardless",
     )
 
     results_parser = subparsers.add_parser(
@@ -316,6 +374,7 @@ def _command_simulate(
     seed: int,
     consistency: bool,
     chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> int:
     import numpy as np
 
@@ -329,12 +388,19 @@ def _command_simulate(
     params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
     workload_rng, protocol_rng = spawn_generators(np.random.SeedSequence(seed), 2)
     population = BoundedChangePopulation(d, k, start_prob=0.3)
-    if chunk_size is not None and protocol != "future_rand" and not consistency:
+    if protocol != "future_rand" and not consistency:
         instance = get_protocol(protocol)
-        if not instance.supports_chunk_size:
+        if chunk_size is not None and not instance.supports_chunk_size:
             print(
                 f"error: protocol {protocol!r} does not support --chunk-size "
                 f"(chunk-aware protocols: {', '.join(_chunk_aware_protocols())})",
+                file=sys.stderr,
+            )
+            return 2
+        if kernel is not None and not instance.supports_kernel:
+            print(
+                f"error: protocol {protocol!r} does not support --kernel "
+                f"(kernel-aware protocols: {', '.join(_kernel_aware_protocols())})",
                 file=sys.stderr,
             )
             return 2
@@ -350,19 +416,23 @@ def _command_simulate(
     if protocol == "future_rand":
         if consistency:
             reports = collect_tree_reports(
-                states, params, protocol_rng, chunk_size=chunk_size
+                states, params, protocol_rng, chunk_size=chunk_size, kernel=kernel
             )
             result = consistent_result(reports)
         else:
-            result = run_batch(states, params, protocol_rng, chunk_size=chunk_size)
+            result = run_batch(
+                states, params, protocol_rng, chunk_size=chunk_size, kernel=kernel
+            )
     else:
         if consistency:
             raise SystemExit("--consistency is only supported for future_rand")
         instance = get_protocol(protocol)
-        if chunk_size is None:
-            result = instance.run(states, params, protocol_rng)
-        else:
-            result = instance.run(states, params, protocol_rng, chunk_size=chunk_size)
+        extras = {}
+        if chunk_size is not None:
+            extras["chunk_size"] = chunk_size
+        if kernel is not None:
+            extras["kernel"] = kernel
+        result = instance.run(states, params, protocol_rng, **extras)
 
     radius = hoeffding_radius(params, result.c_gap, params.beta / params.d)
     print(f"protocol:     {result.family_name}")
@@ -415,6 +485,7 @@ def _command_run_protocol(
     epsilon: float,
     seed: int,
     streaming: bool,
+    kernel: Optional[str] = None,
 ) -> int:
     import numpy as np
 
@@ -426,9 +497,17 @@ def _command_run_protocol(
     workload_rng, protocol_rng = spawn_generators(np.random.SeedSequence(seed), 2)
     states = BoundedChangePopulation(d, k, start_prob=0.3).sample(n, workload_rng)
     protocol = get_protocol(name)
+    if kernel is not None and not protocol.supports_kernel:
+        print(
+            f"error: protocol {name!r} does not support --kernel "
+            f"(kernel-aware protocols: {', '.join(_kernel_aware_protocols())})",
+            file=sys.stderr,
+        )
+        return 2
+    extras = {} if kernel is None else {"kernel": kernel}
 
     if streaming:
-        session = protocol.prepare(params, protocol_rng)
+        session = protocol.prepare(params, protocol_rng, **extras)
         checkpoints = {max(1, (d * i) // 8) for i in range(1, 9)}
         print(f"streaming {name} over {d} periods (n={n:,})")
         if not protocol.online:
@@ -447,7 +526,7 @@ def _command_run_protocol(
                 )
         result = session.result()
     else:
-        result = protocol.run(states, params, protocol_rng)
+        result = protocol.run(states, params, protocol_rng, **extras)
 
     print(f"protocol:     {name} ({result.family_name})")
     print(
@@ -489,6 +568,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.kernel is not None:
+        unsupported = sorted(
+            {name for name in args.protocols if not PROTOCOLS[name].supports_kernel}
+        )
+        if unsupported:
+            print(
+                f"error: {', '.join(unsupported)} do(es) not support "
+                f"--kernel (kernel-aware protocols: "
+                f"{', '.join(_kernel_aware_protocols())})",
+                file=sys.stderr,
+            )
+            return 2
     shards_before = store.shard_count() if store is not None else 0
     table = sweep(
         list(args.protocols),
@@ -502,6 +593,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         store=store,
         resume=args.resume,
         chunk_size=args.chunk_size,
+        kernel=args.kernel,
         title=(
             f"sweep over {args.parameter} "
             f"({', '.join(args.protocols)}; trials={args.trials}, "
@@ -527,6 +619,58 @@ def _command_sweep(args: argparse.Namespace) -> int:
             f"(store: {shards_after} shard artifacts, "
             f"{shards_after - shards_before} new this run; table -> {path})"
         )
+    return 0
+
+
+def _command_bench(
+    scale: str, out: str, seed: int, assert_speedup: str
+) -> int:
+    from repro.bench import (
+        HEADLINE_SPEEDUP_FLOOR,
+        format_bench_table,
+        run_kernel_bench,
+        write_bench_report,
+    )
+    from repro.sim.parallel import default_workers
+
+    payload = run_kernel_bench(scale=scale, seed=seed)
+    path = write_bench_report(payload, out)
+    print(format_bench_table(payload))
+    print(f"(wrote {path})")
+
+    if assert_speedup == "off":
+        return 0
+    if assert_speedup == "auto" and default_workers() <= 1:
+        # Single-CPU hosts (like the dev container) time too noisily to gate
+        # on; the measurement is still emitted for the trajectory.
+        print(
+            "(speedup floor not enforced: only one usable CPU; "
+            "pass --assert-speedup on to force)"
+        )
+        return 0
+    headline = payload.get("headline_speedup")
+    if headline is None:
+        # Smaller scales than the headline grid cannot prove the floor; an
+        # explicit 'on' means the caller wanted it proved, so fail loudly.
+        if assert_speedup == "on":
+            print(
+                f"error: scale {scale!r} did not measure the headline point, "
+                "so the speedup floor cannot be asserted",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if headline < HEADLINE_SPEEDUP_FLOOR:
+        print(
+            f"error: fast kernel speedup {headline:.2f}x is below the "
+            f"{HEADLINE_SPEEDUP_FLOOR:.1f}x floor at the headline point",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"(speedup floor satisfied: {headline:.2f}x >= "
+        f"{HEADLINE_SPEEDUP_FLOOR:.1f}x)"
+    )
     return 0
 
 
@@ -625,6 +769,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "bench":
+        return _command_bench(args.scale, args.out, args.seed, args.assert_speedup)
     if args.command == "results":
         if args.results_command == "show":
             return _command_results_show(args.path)
@@ -645,6 +791,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.seed,
             args.consistency,
             args.chunk_size,
+            args.kernel,
         )
     if args.command == "protocols":
         return _command_protocols(
@@ -659,6 +806,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.epsilon,
             args.seed,
             args.streaming,
+            args.kernel,
         )
     parser.error(f"unknown command {args.command!r}")
     return 2

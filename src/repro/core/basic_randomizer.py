@@ -81,7 +81,12 @@ class BasicRandomizer:
     ) -> np.ndarray:
         """Apply ``R`` independently to each coordinate of a {-1,+1} array."""
         array = np.asarray(values)
-        if not np.isin(array, (-1, 1)).all():
+        # Single-pass membership test: for real dtypes |x| == 1 iff x is in
+        # {-1, +1} (exact for floats too, and NaN-safe); np.isin built two
+        # comparison temporaries and scanned the array twice on this hot
+        # path.  Complex dtypes need the explicit rejection — any unit-
+        # modulus value would satisfy the abs test.
+        if array.dtype.kind == "c" or not (np.abs(array) == 1).all():
             raise ValueError("values entries must all be -1 or +1")
         rng = as_generator(rng)
         flips = rng.random(array.shape) < self._p

@@ -102,11 +102,18 @@ class ComposedRandomizer:
         b: np.ndarray,
         count: int,
         rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
     ) -> np.ndarray:
         """Return ``count`` independent draws of ``R~(b)`` as a ``(count, k)`` matrix.
 
         Semantically identical to calling :meth:`sample` ``count`` times; the
         annulus check and the complement resampling are vectorized across rows.
+
+        ``kernel`` selects the sampling backend (:mod:`repro.kernels`):
+        ``None`` keeps the historical bit-exact path below; ``"fast"`` draws
+        the identical distribution via the exact distance pmf + a vectorized
+        partial Fisher–Yates (different, cheaper, randomness consumption).
         """
         b = check_sign_vector(b, "b")
         if b.size != self._law.k:
@@ -114,6 +121,13 @@ class ComposedRandomizer:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         rng = as_generator(rng)
+        if kernel is not None:
+            # Imported lazily; repro.kernels imports this module.
+            from repro.kernels import resolve_kernel
+
+            return resolve_kernel(kernel).sample_composed_batch(
+                self._law, b, count, rng
+            )
         k = self._law.k
         flips = rng.random((count, k)) < self._law.flip_probability
         distances = flips.sum(axis=1)

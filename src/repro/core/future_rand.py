@@ -15,7 +15,7 @@ Section 5.4 shows the guarantees are unaffected.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -23,35 +23,46 @@ from repro.core.annulus import AnnulusLaw
 from repro.core.composed_randomizer import ComposedRandomizer
 from repro.core.interfaces import RandomizerFamily, SequenceRandomizer
 from repro.utils.rng import as_generator
-from repro.utils.validation import ensure_positive
+from repro.utils.validation import check_ternary_matrix, ensure_positive
 
-__all__ = ["FutureRand", "FutureRandFamily", "randomize_matrix_with_sampler"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.kernels import KernelLike
+
+__all__ = [
+    "FutureRand",
+    "FutureRandFamily",
+    "check_sparse_sign_matrix",
+    "randomize_matrix_with_sampler",
+]
 
 
-def randomize_matrix_with_sampler(
-    matrix: np.ndarray,
-    k: int,
-    sampler: ComposedRandomizer,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Vectorized FutureRand-style randomization of a ``(users, L)`` matrix.
-
-    Shared kernel for every composed-randomizer family (the paper's law and
-    the Bun et al. law differ only in the ``sampler``): each row gets an
-    independent pre-computed ``b~ = sampler(1^k)``; the i-th non-zero of row
-    ``u`` is multiplied by ``b~[u, i]``; zeros get fresh uniform signs.
-    """
-    matrix = np.asarray(matrix)
-    if matrix.ndim != 2:
-        raise ValueError(f"values must be 2-D (users, L), got shape {matrix.shape}")
-    if not np.isin(matrix, (-1, 0, 1)).all():
-        raise ValueError("values entries must all be in {-1, 0, 1}")
+def check_sparse_sign_matrix(matrix: np.ndarray, k: int) -> np.ndarray:
+    """Validate a ``(users, L)`` matrix in {-1, 0, 1} with at most ``k`` non-zeros
+    per row; return it as an array.  Shared by every kernel backend."""
+    matrix = check_ternary_matrix(matrix, "values")
     support = np.count_nonzero(matrix, axis=1)
     if (support > k).any():
         raise ValueError(
             f"a row has {int(support.max())} non-zero values, exceeding the "
             f"bound k={k}"
         )
+    return matrix
+
+
+def _reference_randomize_composed(
+    matrix: np.ndarray,
+    k: int,
+    sampler: ComposedRandomizer,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The bit-exact NumPy path (``kernel="reference"``); see module docstring.
+
+    Every frozen-reference and bit-identity test vector in the suite was
+    recorded against this randomness consumption order — change it and those
+    vectors are invalidated.  Faster strategies belong in a new backend
+    (:mod:`repro.kernels`), not here.
+    """
+    matrix = check_sparse_sign_matrix(matrix, k)
     users, length = matrix.shape
     if users == 0:
         return np.zeros((0, length), dtype=np.int8)
@@ -64,6 +75,34 @@ def randomize_matrix_with_sampler(
     signal = (matrix * b_tilde[rows, nnz_index]).astype(np.int8)
     noise = rng.choice(np.array([-1, 1], dtype=np.int8), size=matrix.shape)
     return np.where(matrix == 0, noise, signal).astype(np.int8)
+
+
+def randomize_matrix_with_sampler(
+    matrix: np.ndarray,
+    k: int,
+    sampler: ComposedRandomizer,
+    rng: np.random.Generator,
+    *,
+    kernel: "KernelLike" = None,
+) -> np.ndarray:
+    """Vectorized FutureRand-style randomization of a ``(users, L)`` matrix.
+
+    Shared kernel for every composed-randomizer family (the paper's law and
+    the Bun et al. law differ only in the ``sampler``): each row gets an
+    independent pre-computed ``b~ = sampler(1^k)``; the i-th non-zero of row
+    ``u`` is multiplied by ``b~[u, i]``; zeros get fresh uniform signs.
+
+    ``kernel`` selects the backend (:mod:`repro.kernels`): ``None`` keeps the
+    historical bit-exact NumPy path; ``"fast"`` draws the same distribution
+    with batched raw-bit streams and exact annulus-distance sampling.
+    """
+    if kernel is None:
+        return _reference_randomize_composed(matrix, k, sampler, rng)
+    # Imported lazily: repro.kernels registers backends that delegate to the
+    # reference implementation above (a module-level import would be cyclic).
+    from repro.kernels import resolve_kernel
+
+    return resolve_kernel(kernel).randomize_composed_matrix(matrix, k, sampler, rng)
 
 
 class FutureRand(SequenceRandomizer):
@@ -176,11 +215,16 @@ class FutureRandFamily(RandomizerFamily):
         self,
         values: np.ndarray,
         rng: Optional[np.random.Generator] = None,
+        *,
+        kernel: "KernelLike" = None,
     ) -> np.ndarray:
         """Vectorized FutureRand over a ``(users, L)`` matrix in {-1, 0, 1}.
 
         Each row gets an independent pre-computed ``b~``; the i-th non-zero of
         row ``u`` is multiplied by ``b~[u, i]``; zeros get fresh uniform signs.
+        ``kernel`` selects the backend (see :mod:`repro.kernels`).
         """
         rng = as_generator(rng)
-        return randomize_matrix_with_sampler(values, self._k, self._sampler, rng)
+        return randomize_matrix_with_sampler(
+            values, self._k, self._sampler, rng, kernel=kernel
+        )

@@ -109,13 +109,25 @@ class RandomizerFamily(abc.ABC):
         self,
         values: np.ndarray,
         rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
     ) -> np.ndarray:
         """Randomize a ``(users, L)`` matrix of values in {-1, 0, 1}.
 
         Default implementation loops over rows spawning per-user randomizers;
         families override this with a vectorized fast path.  Rows are
         independent users; the output is a ``(users, L)`` matrix in {-1, +1}.
+
+        ``kernel`` names a sampling backend (:mod:`repro.kernels`).  Backends
+        implement the *same output distribution* by contract, so for families
+        without a vectorized kernel path the choice is semantically a no-op:
+        the name is validated (unknown kernels fail loudly) and the object
+        loop below runs regardless.
         """
+        if kernel is not None:
+            from repro.kernels import resolve_kernel
+
+            resolve_kernel(kernel)  # validate the spec; the loop is backend-free
         matrix = np.asarray(values)
         if matrix.ndim != 2:
             raise ValueError(f"values must be 2-D (users, L), got shape {matrix.shape}")

@@ -28,6 +28,27 @@ from repro.utils.validation import ensure_positive
 __all__ = ["SimpleRandomizer", "SimpleRandomizerFamily"]
 
 
+def _reference_randomize_independent(
+    values: np.ndarray,
+    k: int,
+    flip_probability: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The bit-exact NumPy path of the independent-RR matrix randomizer.
+
+    Referenced by ``kernel="reference"`` (:mod:`repro.kernels`); the
+    randomness consumption order is frozen — new strategies go in a new
+    backend.
+    """
+    from repro.core.future_rand import check_sparse_sign_matrix
+
+    matrix = check_sparse_sign_matrix(values, k)
+    flips = rng.random(matrix.shape) < flip_probability
+    perturbed = np.where(flips, -matrix, matrix)
+    noise = rng.choice(np.array([-1, 1], dtype=np.int8), size=matrix.shape)
+    return np.where(matrix == 0, noise, perturbed).astype(np.int8)
+
+
 class SimpleRandomizer(SequenceRandomizer):
     """Per-user independent randomized response with budget ``epsilon/k``."""
 
@@ -111,20 +132,21 @@ class SimpleRandomizerFamily(RandomizerFamily):
         self,
         values: np.ndarray,
         rng: Optional[np.random.Generator] = None,
+        *,
+        kernel=None,
     ) -> np.ndarray:
-        """Vectorized independent randomized response over a {-1,0,1} matrix."""
-        matrix = np.asarray(values)
-        if matrix.ndim != 2:
-            raise ValueError(f"values must be 2-D (users, L), got shape {matrix.shape}")
-        if not np.isin(matrix, (-1, 0, 1)).all():
-            raise ValueError("values entries must all be in {-1, 0, 1}")
-        support = np.count_nonzero(matrix, axis=1)
-        if (support > self._k).any():
-            raise ValueError(
-                f"a row has {int(support.max())} non-zero values, exceeding k={self._k}"
-            )
+        """Vectorized independent randomized response over a {-1,0,1} matrix.
+
+        ``kernel`` selects the backend (:mod:`repro.kernels`); ``None`` keeps
+        the historical bit-exact path.
+        """
         rng = as_generator(rng)
-        flips = rng.random(matrix.shape) < self._flip_probability
-        perturbed = np.where(flips, -matrix, matrix)
-        noise = rng.choice(np.array([-1, 1], dtype=np.int8), size=matrix.shape)
-        return np.where(matrix == 0, noise, perturbed).astype(np.int8)
+        if kernel is not None:
+            from repro.kernels import resolve_kernel
+
+            return resolve_kernel(kernel).randomize_independent_matrix(
+                values, self._k, self._flip_probability, rng
+            )
+        return _reference_randomize_independent(
+            values, self._k, self._flip_probability, rng
+        )

@@ -19,8 +19,9 @@ second); use the object driver to exercise the deployment-shaped API.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -33,8 +34,11 @@ from repro.utils.rng import as_generator
 __all__ = [
     "run_batch",
     "collect_tree_reports",
+    "family_randomizer",
     "group_partial_sums",
+    "node_scales",
     "order_probabilities",
+    "partition_rows_by_order",
     "validate_states",
     "BatchTreeReports",
 ]
@@ -192,6 +196,40 @@ def validate_states(
     return matrix
 
 
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+def _order_weights_key(
+    d: int, order_weights: Optional[Sequence[float]]
+) -> Optional[tuple[float, ...]]:
+    """Hashable cache key for an ``order_weights`` spec (shape-validated)."""
+    if order_weights is None:
+        return None
+    probabilities = np.asarray(order_weights, dtype=np.float64)
+    num_orders = d.bit_length()
+    if probabilities.shape != (num_orders,):
+        raise ValueError(
+            f"order_weights must have length {num_orders}, got "
+            f"{probabilities.shape}"
+        )
+    return tuple(probabilities.tolist())
+
+
+@functools.lru_cache(maxsize=256)
+def _order_probabilities_cached(
+    d: int, weights_key: Optional[tuple[float, ...]]
+) -> np.ndarray:
+    num_orders = d.bit_length()
+    if weights_key is None:
+        return _readonly(np.full(num_orders, 1.0 / num_orders))
+    probabilities = np.array(weights_key, dtype=np.float64)
+    if (probabilities <= 0).any():
+        raise ValueError("order_weights must all be positive")
+    return _readonly(probabilities / probabilities.sum())
+
+
 def order_probabilities(
     d: int, order_weights: Optional[Sequence[float]] = None
 ) -> np.ndarray:
@@ -201,19 +239,62 @@ def order_probabilities(
     (the ablation knob of :func:`collect_tree_reports`) is validated and
     normalized.  Shared by the monolithic and chunked drivers so both use
     the identical distribution (and debias scales).
+
+    Results are cached per ``(d, order_weights)`` — repeated trials in a
+    sweep hit the cache — and returned as *read-only* arrays; copy before
+    mutating.
     """
-    num_orders = d.bit_length()
-    if order_weights is None:
-        return np.full(num_orders, 1.0 / num_orders)
-    probabilities = np.asarray(order_weights, dtype=np.float64)
-    if probabilities.shape != (num_orders,):
-        raise ValueError(
-            f"order_weights must have length {num_orders}, got "
-            f"{probabilities.shape}"
-        )
-    if (probabilities <= 0).any():
-        raise ValueError("order_weights must all be positive")
-    return probabilities / probabilities.sum()
+    return _order_probabilities_cached(d, _order_weights_key(d, order_weights))
+
+
+@functools.lru_cache(maxsize=256)
+def _node_scales_cached(
+    d: int, weights_key: Optional[tuple[float, ...]], c_gap: float
+) -> np.ndarray:
+    return _readonly(1.0 / (_order_probabilities_cached(d, weights_key) * c_gap))
+
+
+def node_scales(
+    d: int, c_gap: float, order_weights: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Per-order debias scales ``1 / (Pr[h] * c_gap)``, cached and read-only.
+
+    The expression is unchanged from the historical inline computation, so
+    the cached values are bit-identical to it; the cache just stops every
+    trial of a sweep from recomputing the same constants.
+    """
+    return _node_scales_cached(d, _order_weights_key(d, order_weights), float(c_gap))
+
+
+def partition_rows_by_order(
+    orders: np.ndarray, num_orders: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stable group partition of row indices by sampled order.
+
+    Returns ``(sort_index, group_sizes, boundaries)`` where
+    ``sort_index[boundaries[h]:boundaries[h+1]]`` are the rows of order
+    ``h`` in increasing row order — exactly the membership (and ordering)
+    the historical per-order ``np.flatnonzero(orders == order)`` produced,
+    from a single stable argsort instead of ``num_orders`` full scans.
+    """
+    sort_index = np.argsort(orders, kind="stable")
+    group_sizes = np.bincount(orders, minlength=num_orders).astype(np.int64)
+    boundaries = np.concatenate(([0], np.cumsum(group_sizes)))
+    return sort_index, group_sizes, boundaries
+
+
+def family_randomizer(
+    family: RandomizerFamily, kernel=None
+) -> Callable[[np.ndarray, np.random.Generator], np.ndarray]:
+    """Bind a kernel backend onto ``family.randomize_matrix``.
+
+    ``kernel=None`` returns the bound method untouched — third-party
+    families with the historical two-argument signature keep working, and
+    the default path stays byte-identical.
+    """
+    if kernel is None:
+        return family.randomize_matrix
+    return functools.partial(family.randomize_matrix, kernel=kernel)
 
 
 def collect_tree_reports(
@@ -224,6 +305,7 @@ def collect_tree_reports(
     family: Optional[RandomizerFamily] = None,
     order_weights: Optional[Sequence[float]] = None,
     chunk_size: Optional[int] = None,
+    kernel=None,
 ) -> BatchTreeReports:
     """Run the client side of the protocol and aggregate raw report sums.
 
@@ -237,6 +319,10 @@ def collect_tree_reports(
     ``chunk_size``-row slices) and the per-node sums are folded into a running
     accumulator without ever holding full-population report matrices — see
     :mod:`repro.sim.chunked` for the seeding contract.
+
+    ``kernel`` selects the randomizer backend (:mod:`repro.kernels`):
+    ``None``/``"reference"`` is the frozen bit-exact path, ``"fast"`` the
+    statistically-identical high-throughput path.
     """
     if chunk_size is not None:
         # Imported lazily: repro.sim.chunked is a consumer-layer module that
@@ -250,6 +336,7 @@ def collect_tree_reports(
             chunk_size=chunk_size,
             family=family,
             order_weights=order_weights,
+            kernel=kernel,
         )
     matrix = validate_states(states, params)
     n, d = matrix.shape
@@ -260,22 +347,24 @@ def collect_tree_reports(
     num_orders = d.bit_length()
     probabilities = order_probabilities(d, order_weights)
     orders = rng.choice(num_orders, size=n, p=probabilities)
+    randomize = family_randomizer(family, kernel)
 
     node_sums = [np.zeros(d >> order, dtype=np.float64) for order in range(num_orders)]
-    group_sizes = np.zeros(num_orders, dtype=np.int64)
+    # One stable argsort replaces the per-order flatnonzero scans; group
+    # members (and their order) are identical, so rng consumption — and
+    # therefore every frozen reference — is unchanged.
+    sort_index, group_sizes, boundaries = partition_rows_by_order(orders, num_orders)
     for order in range(num_orders):
-        members = np.flatnonzero(orders == order)
-        group_sizes[order] = members.size
+        members = sort_index[boundaries[order] : boundaries[order + 1]]
         if members.size == 0:
             continue
         partials = group_partial_sums(matrix[members], order)
-        reports = family.randomize_matrix(partials, rng)
+        reports = randomize(partials, rng)
         node_sums[order] = reports.sum(axis=0).astype(np.float64)
 
-    node_scales = 1.0 / (probabilities * family.c_gap)
     return BatchTreeReports(
         node_sums=node_sums,
-        node_scales=node_scales,
+        node_scales=node_scales(d, family.c_gap, order_weights),
         group_sizes=group_sizes,
         order_probabilities=probabilities,
         c_gap=family.c_gap,
@@ -293,13 +382,15 @@ def run_batch(
     family: Optional[RandomizerFamily] = None,
     order_weights: Optional[Sequence[float]] = None,
     chunk_size: Optional[int] = None,
+    kernel=None,
 ) -> ProtocolResult:
     """Vectorized equivalent of :func:`repro.core.protocol.run_online`.
 
     Same arguments and same result type; see the module docstring for the
     execution strategy.  ``order_weights`` is the ablation knob documented on
     :func:`collect_tree_reports`; ``chunk_size`` selects the memory-bounded
-    streaming-aggregation mode (see :mod:`repro.sim.chunked`).
+    streaming-aggregation mode (see :mod:`repro.sim.chunked`); ``kernel``
+    selects the randomizer backend (:mod:`repro.kernels`).
     """
     reports = collect_tree_reports(
         states,
@@ -308,5 +399,6 @@ def run_batch(
         family=family,
         order_weights=order_weights,
         chunk_size=chunk_size,
+        kernel=kernel,
     )
     return reports.to_result()

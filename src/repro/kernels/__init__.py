@@ -1,0 +1,70 @@
+"""Pluggable randomizer kernel backends (the hot-path sampling layer).
+
+Every driver in this repository ultimately spends its time in three
+primitives — batched ``b~ = R~(1^k)`` draws, uniform ``{-1, +1}`` noise, and
+the vectorized ``randomize_matrix`` client path.  This package puts those
+primitives behind a registry of interchangeable backends:
+
+``"reference"``
+    The frozen bit-exact NumPy path (:class:`ReferenceKernel`).  Identical,
+    byte-for-byte, to passing no ``kernel=`` at all; every frozen-reference
+    and bit-identity test vector in the suite is recorded against it.
+``"fast"``
+    The high-throughput path (:class:`FastKernel`): exact distance-pmf
+    sampling through cached alias tables, a vectorized partial Fisher–Yates
+    instead of the rejection loop's double argsort, raw-bit ``{-1, +1}``
+    streams instead of per-element float64 draws, and reused per-chunk
+    scratch buffers.  Same distribution, ~an order of magnitude less RNG
+    bandwidth (see ``repro bench`` / ``BENCH_kernels.json``).
+
+Seeding contract
+----------------
+Every kernel method takes the caller's ``numpy.random.Generator`` and is a
+deterministic function of its state: *same seed + same kernel + same call
+sequence = same output*, on every platform numpy supports.  Backends are
+free to consume the stream differently (that freedom is where the speed
+comes from), so switching kernels re-randomizes outputs while preserving
+the distribution exactly — the relationship between ``"reference"`` and
+``"fast"`` is that of two different seeds, never that of two different
+mechanisms.  Consequently:
+
+* ``kernel=None`` and ``kernel="reference"`` are interchangeable in every
+  reproducibility contract (frozen references, chunk-size invariance,
+  worker-count bit-identity);
+* artifact keys (:mod:`repro.sim.store`) record the kernel only when it is
+  not the default, so historical keys stay byte-stable and a resumed sweep
+  must re-state a non-default kernel to reuse its shards;
+* statistical guarantees (conformance harness, exact-law TV tests) hold for
+  every backend, and that — not bit-identity — is the cross-backend test.
+"""
+
+from repro.kernels.alias import AliasTable
+from repro.kernels.base import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    KernelLike,
+    RandomizerKernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+)
+from repro.kernels.fast import FastKernel
+from repro.kernels.reference import ReferenceKernel
+
+__all__ = [
+    "AliasTable",
+    "DEFAULT_KERNEL",
+    "KERNELS",
+    "KernelLike",
+    "FastKernel",
+    "RandomizerKernel",
+    "ReferenceKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel",
+]
+
+register_kernel(ReferenceKernel())
+register_kernel(FastKernel())

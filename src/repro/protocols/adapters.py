@@ -53,6 +53,7 @@ class _ComposedFamilyProtocol(LongitudinalProtocol):
     """Shared base for the hierarchical composed-randomizer mechanisms."""
 
     supports_chunk_size = True
+    supports_kernel = True
 
     def family(self, params: ProtocolParams) -> RandomizerFamily:
         """The randomizer family deployed client-side at these parameters."""
@@ -67,9 +68,10 @@ class _ComposedFamilyProtocol(LongitudinalProtocol):
         rng: Optional[np.random.Generator] = None,
         *,
         chunk_size: Optional[int] = None,
+        kernel=None,
     ) -> ProtocolSession:
         return HierarchicalStreamingSession(
-            params, self.family(params), rng, chunk_size=chunk_size
+            params, self.family(params), rng, chunk_size=chunk_size, kernel=kernel
         )
 
     def run(
@@ -79,13 +81,19 @@ class _ComposedFamilyProtocol(LongitudinalProtocol):
         rng: Optional[np.random.Generator] = None,
         *,
         chunk_size: Optional[int] = None,
+        kernel=None,
     ) -> ProtocolResult:
         # Imported here: repro.sim.batch_engine is a consumer-layer module
         # and protocol adapters are imported during repro.sim package init.
         from repro.sim.batch_engine import run_batch_engine
 
         return run_batch_engine(
-            states, params, rng, family=self.family(params), chunk_size=chunk_size
+            states,
+            params,
+            rng,
+            family=self.family(params),
+            chunk_size=chunk_size,
+            kernel=kernel,
         )
 
 
@@ -116,6 +124,7 @@ class FutureRandObjectProtocol(FutureRandProtocol):
 
     name = "future_rand_object"
     supports_chunk_size = False  # per-user Client objects; nothing to chunk
+    supports_kernel = False  # per-user objects go through spawn(), not kernels
     description = (
         "FutureRand via one Client state machine per user; the faithful "
         "O(n*d) reference driver."

@@ -228,6 +228,10 @@ class LongitudinalProtocol(abc.ABC):
     #: execution, :mod:`repro.sim.chunked`).  True on the batch-engine-backed
     #: hierarchical adapters.
     supports_chunk_size: ClassVar[bool] = False
+    #: Whether ``run``/``prepare`` accept ``kernel`` (randomizer backend
+    #: selection, :mod:`repro.kernels`).  True on the composed-randomizer
+    #: adapters whose hot path goes through ``randomize_matrix``.
+    supports_kernel: ClassVar[bool] = False
 
     @abc.abstractmethod
     def prepare(

@@ -74,12 +74,17 @@ class HierarchicalStreamingSession(ProtocolSession):
         rng: Optional[np.random.Generator] = None,
         *,
         chunk_size: Optional[int] = None,
+        kernel=None,
     ) -> None:
         super().__init__(
             params, rng, c_gap=family.c_gap, family_name=family.name
         )
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        # Resolved once; None keeps the historical bit-exact draw paths.
+        from repro.kernels import resolve_kernel
+
+        self._kernel = resolve_kernel(kernel)
         n, d = params.n, params.d
         num_orders = d.bit_length()
         rng = self._rng
@@ -98,7 +103,7 @@ class HierarchicalStreamingSession(ProtocolSession):
         sampler = ComposedRandomizer(law)
         ones = np.ones(family.k, dtype=np.int8)
         if chunk_size is None:
-            self._b_tilde = sampler.sample_batch(ones, n, rng)
+            self._b_tilde = sampler.sample_batch(ones, n, rng, kernel=self._kernel)
         else:
             # Bounded pre-draw: the retained b~ is (n, k) int8 either way, but
             # sample_batch's float transients now peak at chunk_size rows.
@@ -106,7 +111,7 @@ class HierarchicalStreamingSession(ProtocolSession):
             for start in range(0, n, chunk_size):
                 stop = min(start + chunk_size, n)
                 self._b_tilde[start:stop] = sampler.sample_batch(
-                    ones, stop - start, rng
+                    ones, stop - start, rng, kernel=self._kernel
                 )
         self._nnz = np.zeros(n, dtype=np.int64)
         self._boundary = np.zeros(n, dtype=np.int8)
@@ -131,7 +136,13 @@ class HierarchicalStreamingSession(ProtocolSession):
             partials = values[members] - self._boundary[members]
             self._boundary[members] = values[members]
             nonzero = partials != 0
-            bits = self._rng.choice(_SIGNS, size=members.size)  # Property III
+            # Property III noise; the kernel backend (when set) draws the
+            # same uniform-sign law from raw bits.
+            bits = (
+                self._rng.choice(_SIGNS, size=members.size)
+                if self._kernel is None
+                else self._kernel.uniform_signs((members.size,), self._rng)
+            )
             signal_users = members[nonzero]
             if signal_users.size:
                 positions = self._nnz[signal_users]

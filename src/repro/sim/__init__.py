@@ -56,6 +56,13 @@ Three knobs, three jobs — reach for them in this order:
 * ``shard_size`` controls artifact/resume **granularity** when a ``store``
   persists results; it affects neither memory nor output bits.
 
+A fourth, orthogonal knob picks the randomizer *backend*: ``kernel="fast"``
+(``run_trials``/``sweep``/the batch engine/CLI ``--kernel``) swaps the
+bit-exact reference sampling kernels for the alias-table + raw-bit backend
+of :mod:`repro.kernels` — same output distribution (conformance-tested),
+several-fold less sampling time, different random stream.  Artifact keys
+record the kernel only when non-default, so existing stores keep resuming.
+
 Scaling sweeps
 --------------
 

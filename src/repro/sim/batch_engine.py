@@ -35,7 +35,12 @@ from repro.core.interfaces import RandomizerFamily
 from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult
 from repro.core.server import Server
-from repro.core.vectorized import group_partial_sums, validate_states
+from repro.core.vectorized import (
+    family_randomizer,
+    group_partial_sums,
+    partition_rows_by_order,
+    validate_states,
+)
 from repro.sim.chunked import ChunkedTreeAccumulator, _iter_chunks
 from repro.sim.engine import OnlineEngineBase, StepSnapshot
 from repro.utils.validation import ensure_positive
@@ -81,6 +86,7 @@ class BatchSimulationEngine(OnlineEngineBase):
         rng: Optional[np.random.Generator] = None,
         report_drop_rate: float = 0.0,
         chunk_size: Optional[int] = None,
+        kernel=None,
     ) -> None:
         super().__init__(
             params, family=family, rng=rng, report_drop_rate=report_drop_rate
@@ -88,6 +94,8 @@ class BatchSimulationEngine(OnlineEngineBase):
         if chunk_size is not None:
             ensure_positive(chunk_size, "chunk_size")
         self._chunk_size = chunk_size
+        self._kernel = kernel
+        self._randomize = family_randomizer(self._family, kernel)
 
     def run(
         self,
@@ -115,12 +123,13 @@ class BatchSimulationEngine(OnlineEngineBase):
         # processed in increasing order so the rng consumption is a fixed
         # function of the order draw (reproducibility under a fixed seed).
         group_reports: list[Optional[np.ndarray]] = [None] * num_orders
+        sort_index, _, boundaries = partition_rows_by_order(orders, num_orders)
         for order in range(num_orders):
-            members = np.flatnonzero(orders == order)
+            members = sort_index[boundaries[order] : boundaries[order + 1]]
             if members.size == 0:
                 continue
             partials = group_partial_sums(matrix[members], order)
-            group_reports[order] = self._family.randomize_matrix(partials, rng)
+            group_reports[order] = self._randomize(partials, rng)
 
         server = Server(d, self._family.c_gap)
         estimates = np.empty(d, dtype=np.float64)
@@ -177,6 +186,7 @@ class BatchSimulationEngine(OnlineEngineBase):
             self._rng,
             family=self._family,
             report_drop_rate=self._drop_rate,
+            kernel=self._kernel,
         )
         for chunk in _iter_chunks(states, self._chunk_size):
             accumulator.add(chunk)
@@ -226,13 +236,15 @@ def run_batch_engine(
     family: Optional[RandomizerFamily] = None,
     report_drop_rate: float = 0.0,
     chunk_size: Optional[int] = None,
+    kernel=None,
 ) -> ProtocolResult:
     """Functional adapter conforming to :class:`repro.sim.runner.ProtocolRunner`.
 
     ``run_trials`` / ``sweep`` / baselines all share the
     ``(states, params, rng) -> ProtocolResult`` signature; this wraps the
     batched engine in it.  ``chunk_size`` selects the memory-bounded chunked
-    mode (see :class:`BatchSimulationEngine`).
+    mode (see :class:`BatchSimulationEngine`); ``kernel`` the randomizer
+    backend (:mod:`repro.kernels`).
     """
     engine = BatchSimulationEngine(
         params,
@@ -240,9 +252,11 @@ def run_batch_engine(
         rng=rng,
         report_drop_rate=report_drop_rate,
         chunk_size=chunk_size,
+        kernel=kernel,
     )
     return engine.run(states)
 
 
-#: Marker consumed by :mod:`repro.sim.runner`'s ``chunk_size`` plumbing.
+#: Markers consumed by :mod:`repro.sim.runner`'s option plumbing.
 run_batch_engine.supports_chunk_size = True
+run_batch_engine.supports_kernel = True

@@ -41,11 +41,14 @@ from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolResult, default_family
 from repro.core.vectorized import (
     BatchTreeReports,
+    family_randomizer,
     group_partial_sums,
+    node_scales,
     order_probabilities,
+    partition_rows_by_order,
     validate_states,
 )
-from repro.utils.chunking import DEFAULT_BLOCK_ROWS, iter_row_groups, plan_row_blocks
+from repro.utils.chunking import DEFAULT_BLOCK_ROWS, plan_row_blocks
 from repro.utils.rng import SeedLike, as_seed_sequence
 from repro.workloads.generators import Population
 
@@ -114,9 +117,11 @@ class ChunkedTreeAccumulator:
         order_weights: Optional[Sequence[float]] = None,
         block_rows: int = DEFAULT_BLOCK_ROWS,
         report_drop_rate: float = 0.0,
+        kernel=None,
     ) -> None:
         self._params = params
         self._family = family if family is not None else default_family(params)
+        self._randomize = family_randomizer(self._family, kernel)
         if not 0.0 <= report_drop_rate < 1.0:
             raise ValueError(
                 f"report_drop_rate must be in [0, 1), got {report_drop_rate}"
@@ -124,6 +129,7 @@ class ChunkedTreeAccumulator:
         self._drop_rate = float(report_drop_rate)
         d = params.d
         self._num_orders = d.bit_length()
+        self._order_weights = order_weights
         self._probabilities = order_probabilities(d, order_weights)
         self._blocks = plan_row_blocks(params.n, block_rows)
         self._block_rows = int(block_rows)
@@ -211,13 +217,18 @@ class ChunkedTreeAccumulator:
         orders = rng.choice(
             self._num_orders, size=matrix.shape[0], p=self._probabilities
         )
+        # Same single-argsort partition as collect_tree_reports: identical
+        # group membership and ordering, hence identical rng consumption.
+        sort_index, sizes, boundaries = partition_rows_by_order(
+            orders, self._num_orders
+        )
+        self.group_sizes += sizes
         for order in range(self._num_orders):
-            members = np.flatnonzero(orders == order)
-            self.group_sizes[order] += members.size
+            members = sort_index[boundaries[order] : boundaries[order + 1]]
             if members.size == 0:
                 continue
             partials = group_partial_sums(matrix[members], order)
-            reports = self._family.randomize_matrix(partials, rng)
+            reports = self._randomize(partials, rng)
             if self._drop_rate:
                 kept = rng.random(reports.shape) >= self._drop_rate
                 self.node_sums[order] += np.where(kept, reports, 0).sum(axis=0)
@@ -247,7 +258,9 @@ class ChunkedTreeAccumulator:
             self._finalized = True
         return BatchTreeReports(
             node_sums=self.node_sums,
-            node_scales=1.0 / (self._probabilities * self._family.c_gap),
+            node_scales=node_scales(
+                self._params.d, self._family.c_gap, self._order_weights
+            ),
             group_sizes=self.group_sizes,
             order_probabilities=self._probabilities,
             c_gap=self._family.c_gap,
@@ -266,6 +279,7 @@ def collect_tree_reports_chunked(
     family: Optional[RandomizerFamily] = None,
     order_weights: Optional[Sequence[float]] = None,
     block_rows: int = DEFAULT_BLOCK_ROWS,
+    kernel=None,
 ) -> BatchTreeReports:
     """Streaming-aggregation equivalent of :func:`collect_tree_reports`.
 
@@ -274,7 +288,9 @@ def collect_tree_reports_chunked(
     ``seed`` roots the per-block spawn tree (a ``Generator`` is accepted and
     reduced via :func:`~repro.utils.rng.as_seed_sequence`).  Output is
     bit-identical for any chunk size, and identical to the monolithic driver
-    when ``params.n <= block_rows`` (see the module docstring).
+    when ``params.n <= block_rows`` (see the module docstring).  ``kernel``
+    selects the randomizer backend (:mod:`repro.kernels`); the chunk-size
+    invariance holds per backend.
     """
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
@@ -284,6 +300,7 @@ def collect_tree_reports_chunked(
         family=family,
         order_weights=order_weights,
         block_rows=block_rows,
+        kernel=kernel,
     )
     for chunk in _iter_chunks(states, chunk_size):
         accumulator.add(chunk)
@@ -299,6 +316,7 @@ def run_batch_chunked(
     family: Optional[RandomizerFamily] = None,
     order_weights: Optional[Sequence[float]] = None,
     block_rows: int = DEFAULT_BLOCK_ROWS,
+    kernel=None,
 ) -> ProtocolResult:
     """Chunked equivalent of :func:`repro.core.vectorized.run_batch`."""
     return collect_tree_reports_chunked(
@@ -309,6 +327,7 @@ def run_batch_chunked(
         family=family,
         order_weights=order_weights,
         block_rows=block_rows,
+        kernel=kernel,
     ).to_result()
 
 
@@ -321,6 +340,7 @@ def run_chunked_population(
     family: Optional[RandomizerFamily] = None,
     order_weights: Optional[Sequence[float]] = None,
     block_rows: int = DEFAULT_BLOCK_ROWS,
+    kernel=None,
 ) -> ProtocolResult:
     """End-to-end out-of-core run: generate, randomize and aggregate in chunks.
 
@@ -343,4 +363,5 @@ def run_chunked_population(
         family=family,
         order_weights=order_weights,
         block_rows=block_rows,
+        kernel=kernel,
     )

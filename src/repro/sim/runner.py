@@ -121,40 +121,66 @@ def _prepare_runner(runner: Optional[ProtocolLike]) -> tuple[str, Callable]:
     return resolve_runner(runner)
 
 
-def _apply_chunk_size(
-    name: str, runner: Callable, chunk_size: Optional[int]
+def _apply_execution_options(
+    name: str,
+    runner: Callable,
+    chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Callable:
-    """Bind ``chunk_size`` onto a chunk-aware runner (or reject it loudly).
+    """Bind ``chunk_size``/``kernel`` onto an option-aware runner (or reject).
 
-    Chunk awareness is advertised with a ``supports_chunk_size`` attribute
-    (set on :func:`~repro.sim.batch_engine.run_batch_engine` and the
-    hierarchical protocol adapters); for protocol instances the bound ``run``
-    method is wrapped, keeping the partial picklable for the multiprocess
-    path (stateless registry singletons pickle by reference).
+    Support is advertised with ``supports_chunk_size`` / ``supports_kernel``
+    attributes (set on :func:`~repro.sim.batch_engine.run_batch_engine` and
+    the hierarchical protocol adapters); for protocol instances the bound
+    ``run`` method is wrapped, keeping the partial picklable for the
+    multiprocess path (stateless registry singletons pickle by reference).
+    Both options are validated against the *unwrapped* runner before a
+    single partial is built, so they compose.
     """
-    if chunk_size is None:
-        return runner
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
-    if not getattr(runner, "supports_chunk_size", False):
-        from repro.protocols.registry import PROTOCOLS
+    kwargs: dict[str, object] = {}
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if not getattr(runner, "supports_chunk_size", False):
+            from repro.protocols.registry import PROTOCOLS
 
-        chunk_aware = sorted(
-            key for key, protocol in PROTOCOLS.items()
-            if protocol.supports_chunk_size
-        )
-        raise ValueError(
-            f"protocol {name!r} does not support chunk_size; chunk-aware "
-            f"protocols: {', '.join(chunk_aware)}"
-        )
+            chunk_aware = sorted(
+                key for key, protocol in PROTOCOLS.items()
+                if protocol.supports_chunk_size
+            )
+            raise ValueError(
+                f"protocol {name!r} does not support chunk_size; chunk-aware "
+                f"protocols: {', '.join(chunk_aware)}"
+            )
+        kwargs["chunk_size"] = chunk_size
+    if kernel is not None:
+        from repro.kernels import resolve_kernel
+
+        resolve_kernel(kernel)  # unknown kernels fail here, not mid-sweep
+        if not getattr(runner, "supports_kernel", False):
+            from repro.protocols.registry import PROTOCOLS
+
+            kernel_aware = sorted(
+                key for key, protocol in PROTOCOLS.items()
+                if protocol.supports_kernel
+            )
+            raise ValueError(
+                f"protocol {name!r} does not support kernel selection; "
+                f"kernel-aware protocols: {', '.join(kernel_aware)}"
+            )
+        kwargs["kernel"] = kernel
+    if not kwargs:
+        return runner
     target = runner.run if hasattr(runner, "run") else runner
-    return functools.partial(target, chunk_size=chunk_size)
+    return functools.partial(target, **kwargs)
 
 
 def _params_payload(
-    params: ProtocolParams, chunk_size: Optional[int] = None
-) -> dict[str, Union[int, float]]:
-    payload: dict[str, Union[int, float]] = {
+    params: ProtocolParams,
+    chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> dict[str, Union[int, float, str]]:
+    payload: dict[str, Union[int, float, str]] = {
         "n": params.n,
         "d": params.d,
         "k": params.k,
@@ -169,6 +195,12 @@ def _params_payload(
     # keep every historical (non-chunked) key byte-stable.
     if chunk_size is not None:
         payload["chunked"] = True
+    # Kernel backends likewise change the randomness stream, never the
+    # distribution; recorded only when non-default so historical keys stay
+    # byte-stable (``None`` and ``"reference"`` are bit-identical paths).
+    kernel_name = getattr(kernel, "name", kernel)
+    if kernel_name is not None and kernel_name != "reference":
+        payload["kernel"] = str(kernel_name)
     return payload
 
 
@@ -194,6 +226,7 @@ def _plan_point_shards(
     digest: Optional[str],
     point: tuple,
     chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> list[_PlannedShard]:
     """Build the shard tasks (and keys) for one (protocol, sweep point)."""
     # Captured before spawning: a caller-supplied SeedSequence that has
@@ -208,7 +241,7 @@ def _plan_point_shards(
         if store is not None:
             key = ShardKey(
                 protocol=name,
-                params=_params_payload(params, chunk_size),
+                params=_params_payload(params, chunk_size, kernel),
                 seed_entropy=trial_seed.entropy,
                 spawn_key=tuple(trial_seed.spawn_key),
                 seed_spawn_base=spawn_base,
@@ -301,6 +334,7 @@ def run_trials(
     store: Optional[ResultStore] = None,
     resume: bool = True,
     chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> TrialStatistics:
     """Run ``runner`` repeatedly on the same workload with independent seeds.
 
@@ -315,10 +349,12 @@ def run_trials(
     ``chunk_size`` runs each trial in the memory-bounded chunked mode (the
     two knobs compose: shards bound a worker's *task*, chunks bound its
     *peak memory*); the runner must be chunk-aware — see
-    :mod:`repro.sim.chunked`.
+    :mod:`repro.sim.chunked`.  ``kernel`` selects the randomizer backend for
+    kernel-aware runners (:mod:`repro.kernels`); artifact keys record it
+    only when non-default.
     """
     name, runner = _prepare_runner(runner)
-    runner = _apply_chunk_size(name, runner, chunk_size)
+    runner = _apply_execution_options(name, runner, chunk_size, kernel)
     if trials < 1:
         raise ValueError(f"trials must be at least 1, got {trials}")
     if not isinstance(seed, np.random.SeedSequence):
@@ -335,6 +371,7 @@ def run_trials(
         digest=states_digest(states) if store is not None else None,
         point=(name,),
         chunk_size=chunk_size,
+        kernel=kernel,
     )
     grouped = _execute_planned(planned, workers=workers, store=store, resume=resume)
     return TrialStatistics.from_metrics(grouped[(name,)])
@@ -413,6 +450,7 @@ def sweep(
     store: Optional[ResultStore] = None,
     resume: bool = True,
     chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ResultTable:
     """Sweep one protocol parameter and tabulate every runner's error.
 
@@ -436,7 +474,10 @@ def sweep(
 
     ``chunk_size`` executes every trial in the memory-bounded chunked mode
     (chunk-aware runners only): ``workers`` fans shards across processes,
-    ``chunk_size`` bounds each process's peak memory.
+    ``chunk_size`` bounds each process's peak memory.  ``kernel`` selects
+    the randomizer backend for every kernel-aware runner
+    (:mod:`repro.kernels`); artifact keys record it only when non-default,
+    so ``"reference"`` sweeps keep reusing historical artifacts.
 
     >>> params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
     >>> table = sweep(None, params, "k", [1, 2], trials=1, seed=0)
@@ -445,7 +486,7 @@ def sweep(
     """
     runners = _normalize_runners(runners)
     runners = {
-        name: _apply_chunk_size(name, runner, chunk_size)
+        name: _apply_execution_options(name, runner, chunk_size, kernel)
         for name, runner in runners.items()
     }
     if parameter not in ("n", "d", "k", "epsilon"):
@@ -492,6 +533,7 @@ def sweep(
                     digest=digest,
                     point=point,
                     chunk_size=chunk_size,
+                    kernel=kernel,
                 )
             )
 

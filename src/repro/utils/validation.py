@@ -17,9 +17,50 @@ __all__ = [
     "check_privacy_budget",
     "check_sign_vector",
     "check_sparse_signs",
+    "check_ternary_matrix",
     "ensure_int",
     "ensure_positive",
 ]
+
+#: Row-block granularity for matrix entry scans on dtypes that need an exact
+#: membership test; bounds the validation temporaries regardless of ``n``.
+_ENTRY_SCAN_BLOCK_ROWS = 4096
+
+
+def _has_only_ternary_entries(matrix: np.ndarray) -> bool:
+    """Whether every entry of ``matrix`` lies in ``{-1, 0, 1}`` (dtype-aware).
+
+    Integer and boolean inputs are checked with O(1)-memory min/max
+    reductions; anything else (floats, objects) falls back to the exact
+    membership test in bounded row blocks, so validating never allocates a
+    second full-size matrix.
+    """
+    if matrix.dtype.kind == "b":
+        return True
+    if matrix.dtype.kind == "u":
+        return matrix.size == 0 or matrix.max() <= 1
+    if matrix.dtype.kind == "i":
+        return matrix.size == 0 or (matrix.min() >= -1 and matrix.max() <= 1)
+    flat = matrix if matrix.ndim == 2 else matrix.reshape(1, -1)
+    for start in range(0, flat.shape[0], _ENTRY_SCAN_BLOCK_ROWS):
+        block = flat[start : start + _ENTRY_SCAN_BLOCK_ROWS]
+        if not np.isin(block, (-1, 0, 1)).all():
+            return False
+    return True
+
+
+def check_ternary_matrix(values: np.ndarray, name: str = "values") -> np.ndarray:
+    """Return ``values`` as a 2-D array after checking entries are in {-1, 0, 1}.
+
+    The shared entry validation of every vectorized ``randomize_matrix``
+    path (see :func:`_has_only_ternary_entries` for the memory contract).
+    """
+    matrix = np.asarray(values)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (users, L), got shape {matrix.shape}")
+    if not _has_only_ternary_entries(matrix):
+        raise ValueError(f"{name} entries must all be in {{-1, 0, 1}}")
+    return matrix
 
 
 def ensure_int(value: object, name: str) -> int:

@@ -89,6 +89,22 @@ class TestRandomizeVector:
         with pytest.raises(ValueError):
             BasicRandomizer(1.0).randomize_vector(np.array([1, 0]), rng)
 
+    def test_rejects_non_unit_floats_and_nan(self, rng):
+        with pytest.raises(ValueError):
+            BasicRandomizer(1.0).randomize_vector(np.array([1.0, 0.5]), rng)
+        with pytest.raises(ValueError):
+            BasicRandomizer(1.0).randomize_vector(np.array([1.0, np.nan]), rng)
+
+    def test_accepts_exact_unit_floats(self, rng):
+        output = BasicRandomizer(1.0).randomize_vector(np.array([1.0, -1.0]), rng)
+        assert set(np.unique(output).tolist()) <= {-1, 1}
+
+    def test_rejects_complex_unit_modulus(self, rng):
+        # |1j| == 1, so the single-pass abs check alone would admit it; the
+        # dtype guard must keep the {-1,+1} input contract exact.
+        with pytest.raises(ValueError):
+            BasicRandomizer(1.0).randomize_vector(np.array([1j, -1j]), rng)
+
     def test_matrix_input(self, rng):
         randomizer = BasicRandomizer(1.0)
         values = np.ones((10, 5), dtype=np.int8)

@@ -1,0 +1,185 @@
+"""The bench engine and the ``repro bench`` / ``--kernel`` CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    HEADLINE_POINT,
+    bench_grid as _bench_grid,  # aliased: pytest.ini collects bench_* names
+    format_bench_table,
+    headline_speedup,
+    run_kernel_bench,
+    sparse_sign_matrix,
+    write_bench_report,
+)
+from repro.cli import build_parser, main
+
+
+class TestBenchEngine:
+    def test_grid_scales(self):
+        assert _bench_grid("smoke")
+        quick = _bench_grid("quick")
+        assert [
+            {key: point[key] for key in HEADLINE_POINT} for point in quick
+        ] == [HEADLINE_POINT]
+        full = _bench_grid("full")
+        assert len(full) > len(quick)
+        assert any(
+            all(point[key] == HEADLINE_POINT[key] for key in HEADLINE_POINT)
+            for point in full
+        ), "the full grid must include the headline point"
+        with pytest.raises(ValueError, match="scale"):
+            _bench_grid("huge")
+
+    def test_sparse_sign_matrix_shape_and_sparsity(self):
+        matrix = sparse_sign_matrix(50, 32, 4, np.random.default_rng(0))
+        assert matrix.shape == (50, 32)
+        assert matrix.dtype == np.int8
+        assert set(np.unique(matrix)) <= {-1, 0, 1}
+        assert (np.count_nonzero(matrix, axis=1) <= 4).all()
+        assert np.count_nonzero(matrix) > 0
+
+    def test_smoke_payload_structure(self):
+        payload = run_kernel_bench(scale="smoke", seed=3)
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["benchmark"] == "randomize_matrix"
+        kernels = {row["kernel"] for row in payload["results"]}
+        assert kernels == {"reference", "fast"}
+        for row in payload["results"]:
+            assert row["seconds"] > 0
+            assert row["ns_per_report"] > 0
+        assert len(payload["speedups"]) == 1
+        assert payload["speedups"][0]["speedup"] > 0
+        # smoke doesn't measure the headline point, so no headline speedup
+        assert payload["headline_speedup"] is None
+        assert headline_speedup(payload) is None
+        assert "git_sha" in payload and payload["git_sha"]
+
+    def test_write_report_round_trips(self, tmp_path):
+        payload = run_kernel_bench(scale="smoke", seed=1)
+        path = write_bench_report(payload, tmp_path / "sub" / "BENCH_kernels.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(payload))
+
+    def test_format_table_mentions_kernels(self):
+        payload = run_kernel_bench(scale="smoke", seed=2)
+        text = format_bench_table(payload)
+        assert "reference" in text and "fast" in text and "speedup" in text
+
+
+class TestBenchCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scale == "quick"
+        assert args.out == "BENCH_kernels.json"
+        assert args.assert_speedup == "auto"
+
+    def test_bench_smoke_emits_json(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_kernels.json"
+        assert main(["bench", "--scale", "smoke", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["scale"] == "smoke"
+        assert "randomize_matrix" in capsys.readouterr().out
+
+    def test_bench_assert_on_without_headline_fails(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_kernels.json"
+        code = main(
+            [
+                "bench", "--scale", "smoke", "--out", str(out),
+                "--assert-speedup", "on",
+            ]
+        )
+        assert code == 1
+        assert out.exists(), "JSON must be emitted even when the assert fails"
+        assert "headline" in capsys.readouterr().err
+
+    def test_bench_assert_off_always_passes(self, tmp_path):
+        out = tmp_path / "BENCH_kernels.json"
+        assert main(
+            [
+                "bench", "--scale", "smoke", "--out", str(out),
+                "--assert-speedup", "off",
+            ]
+        ) == 0
+
+
+class TestKernelCli:
+    def test_simulate_fast_kernel(self, capsys):
+        assert main(
+            [
+                "simulate", "--protocol", "future_rand", "--n", "400",
+                "--d", "16", "--k", "2", "--kernel", "fast",
+            ]
+        ) == 0
+        assert "future_rand" in capsys.readouterr().out
+
+    def test_simulate_fast_kernel_chunked(self, capsys):
+        assert main(
+            [
+                "simulate", "--protocol", "future_rand", "--n", "400",
+                "--d", "16", "--k", "2", "--kernel", "fast",
+                "--chunk-size", "128",
+            ]
+        ) == 0
+
+    def test_simulate_kernel_unaware_protocol_exits_2(self, capsys):
+        code = main(
+            [
+                "simulate", "--protocol", "erlingsson", "--n", "200",
+                "--d", "16", "--k", "2", "--kernel", "fast",
+            ]
+        )
+        assert code == 2
+        error = capsys.readouterr().err
+        assert "does not support --kernel" in error
+        assert "future_rand" in error  # lists the kernel-aware protocols
+
+    def test_unknown_kernel_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--kernel", "turbo"]
+            )
+
+    def test_sweep_fast_kernel(self, capsys):
+        assert main(
+            [
+                "sweep", "--protocols", "future_rand", "--parameter", "k",
+                "--values", "2", "--n", "300", "--d", "16", "--trials", "1",
+                "--kernel", "fast",
+            ]
+        ) == 0
+        assert "future_rand" in capsys.readouterr().out
+
+    def test_sweep_kernel_unaware_protocol_exits_2(self, capsys):
+        code = main(
+            [
+                "sweep", "--protocols", "memoization", "--parameter", "k",
+                "--values", "2", "--n", "300", "--d", "16", "--trials", "1",
+                "--kernel", "fast",
+            ]
+        )
+        assert code == 2
+        assert "do(es) not support --kernel" in capsys.readouterr().err
+
+    def test_run_protocol_fast_kernel_streaming(self, capsys):
+        assert main(
+            [
+                "run-protocol", "future_rand", "--n", "300", "--d", "16",
+                "--k", "2", "--kernel", "fast", "--streaming",
+            ]
+        ) == 0
+        assert "streaming" in capsys.readouterr().out
+
+    def test_run_protocol_kernel_unaware_exits_2(self, capsys):
+        code = main(
+            [
+                "run-protocol", "central_tree", "--n", "300", "--d", "16",
+                "--k", "2", "--kernel", "fast",
+            ]
+        )
+        assert code == 2

@@ -24,6 +24,7 @@ MODULES_WITH_EXAMPLES = [
     "repro.core.composed_randomizer",
     "repro.core.future_rand",
     "repro.core.client",
+    "repro.kernels.alias",
     "repro.protocols.registry",
     "repro.sim.results",
     "repro.sim.runner",

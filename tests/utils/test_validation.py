@@ -6,14 +6,55 @@ import numpy as np
 import pytest
 
 from repro.utils.validation import (
+    _has_only_ternary_entries,
     check_power_of_two,
     check_privacy_budget,
     check_probability,
     check_sign_vector,
     check_sparse_signs,
+    check_ternary_matrix,
     ensure_int,
     ensure_positive,
 )
+
+
+class TestCheckTernaryMatrix:
+    @pytest.mark.parametrize(
+        "dtype", [np.int8, np.int64, np.uint8, np.float64, bool]
+    )
+    def test_accepts_valid_entries_any_dtype(self, dtype):
+        matrix = np.array([[0, 1, 0], [1, 0, 1]]).astype(dtype)
+        result = check_ternary_matrix(matrix)
+        assert result.shape == (2, 3)
+
+    def test_accepts_negative_ones(self):
+        check_ternary_matrix(np.array([[-1, 0, 1]], dtype=np.int8))
+        check_ternary_matrix(np.array([[-1.0, 0.0, 1.0]]))
+
+    @pytest.mark.parametrize("bad", [2, -2, 0.5, np.nan])
+    def test_rejects_out_of_range_entries(self, bad):
+        matrix = np.array([[0.0, 1.0, float(bad)]])
+        with pytest.raises(ValueError, match="must all be in"):
+            check_ternary_matrix(matrix)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_ternary_matrix(np.array([0, 1, 0]))
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(ValueError, match="states entries"):
+            check_ternary_matrix(np.array([[5]]), "states")
+
+    def test_entry_scan_handles_1d_float_fallback(self):
+        # The blockwise isin fallback must also cope with 1-D input when
+        # called directly (the 2-D check lives in check_ternary_matrix).
+        assert _has_only_ternary_entries(np.array([0.0, 1.0, -1.0]))
+        assert not _has_only_ternary_entries(np.array([0.5]))
+
+    def test_large_float_matrix_scanned_in_blocks(self):
+        matrix = np.zeros((10_000, 3), dtype=np.float64)
+        matrix[9_999, 2] = 7.0  # violation in the last block
+        assert not _has_only_ternary_entries(matrix)
 
 
 class TestEnsureInt:
