@@ -1,11 +1,12 @@
-"""Longitudinal heavy hitters over a categorical domain (Section 1 extension).
+"""Longitudinal heavy hitters over a *huge* item domain (Section 1 extension).
 
-Users each hold one of ``m`` items (say, a default search engine) and switch
-rarely.  The categorical extension reduces the problem to the Boolean
-protocol via one-hot coordinate sampling; the heavy-hitter tracker then
-reports the top item every period.  Midway through, a challenger item
-overtakes the incumbent — the tracker should catch the flip within a few
-periods.
+Users each hold one of ``m = 2^20`` items (say, a default search engine or a
+homepage URL) and switch rarely.  The ``heavy_hitters`` registry protocol
+reduces the domain to a count sketch with per-bit identity channels — every
+user runs ONE Boolean "randomize the future" sub-protocol — so memory is
+O(R log m) dyadic servers, never O(m).  Midway through the horizon, a
+challenger item overtakes the incumbent; the streaming session decodes the
+top items every period, so the flip is visible the period it happens.
 
 Run:  python examples/heavy_hitters.py
 """
@@ -14,57 +15,79 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.extensions import CategoricalLongitudinalProtocol, top_items
-from repro.extensions.heavy_hitters import precision_at_r
+from repro.core.params import ProtocolParams
+from repro.protocols import get_protocol
+
+INCUMBENT = 271_828
+CHALLENGER = 314_159
 
 
 def build_population(
     n: int, d: int, m: int, rng: np.random.Generator
 ) -> np.ndarray:
-    """Item 0 starts dominant; most of its holders defect to item 1 midway."""
-    probabilities = [0.55, 0.25] + [0.20 / (m - 2)] * (m - 2)
-    items = rng.choice(m, size=n, p=probabilities).astype(np.int8)
-    matrix = np.tile(items[:, np.newaxis], (1, d))
-    defectors = (items == 0) & (rng.random(n) < 0.8)
-    switch_times = rng.integers(d // 4, 3 * d // 4, size=n)
-    columns = np.arange(d)[np.newaxis, :]
-    switched = defectors[:, np.newaxis] & (columns >= switch_times[:, np.newaxis])
-    return np.where(switched, np.int8(1), matrix)
+    """The incumbent starts dominant; most of its holders defect midway."""
+    draws = rng.random(n)
+    items = rng.integers(0, m, size=n, dtype=np.int64)
+    items[draws < 0.55] = INCUMBENT
+    items[(draws >= 0.55) & (draws < 0.80)] = CHALLENGER
+    matrix = np.repeat(items[:, None], d, axis=1)
+    defectors = (items == INCUMBENT) & (rng.random(n) < 0.8)
+    switch_times = rng.integers(d // 4, 3 * d // 4, size=n) + 1
+    columns = np.arange(1, d + 1)[None, :]
+    switched = defectors[:, None] & (columns > switch_times[:, None])
+    return np.where(switched, np.int64(CHALLENGER), matrix)
 
 
 def main() -> None:
-    n, d, m = 2_000_000, 16, 4
+    n, d, m = 500_000, 4, 1 << 20
+    params = ProtocolParams(n=n, d=d, k=1, epsilon=8.0)
     rng = np.random.default_rng(11)
     items = build_population(n, d, m, rng)
-
-    protocol = CategoricalLongitudinalProtocol(m=m, d=d, k=1, epsilon=1.0)
-    estimates = protocol.run(items, np.random.default_rng(12))
-    truth = CategoricalLongitudinalProtocol.true_counts(items, m)
-
-    reported = top_items(estimates, r=1)
-    true_top = top_items(truth.astype(float), r=1)
-
-    print(f"n={n:,} users, m={m} items, d={d} periods (k=1 switch budget)")
-    print()
-    print("   t   estimated leader   true leader   est. share   true share")
-    for t in (1, 4, 8, 12, 16):
-        share = estimates[t - 1, reported[t - 1][0]] / n
-        true_share = truth[t - 1, true_top[t - 1][0]] / n
-        print(
-            f"{t:4d}   {reported[t - 1][0]:16d}   {true_top[t - 1][0]:11d}"
-            f"   {share:10.1%}   {true_share:10.1%}"
-        )
-
-    precision = precision_at_r(reported, truth, r=1)
-    flip_estimate = next(
-        (t for t, tops in enumerate(reported, start=1) if tops and tops[0] == 1), None
+    truth = np.stack(
+        [
+            [(items[:, t] == INCUMBENT).sum(), (items[:, t] == CHALLENGER).sum()]
+            for t in range(d)
+        ]
     )
+
+    protocol = get_protocol("heavy_hitters").with_domain_size(m)
+    session = protocol.prepare(params, np.random.default_rng(12))
+    print(
+        f"n={n:,} users, m={m:,} items, d={d} periods "
+        f"(k=1 switch budget, epsilon={params.epsilon})"
+    )
+    print()
+    print("   t   decoded top items                  true leader")
+    for t in range(1, d + 1):
+        session.ingest(t, items[:, t - 1])
+        decoded = session.top_items()[t - 1][:2]
+        shown = ", ".join(str(item) for item in decoded)
+        true_leader = INCUMBENT if truth[t - 1, 0] >= truth[t - 1, 1] else CHALLENGER
+        print(f"{t:4d}   {shown:<33}   {true_leader}")
+
+    result = session.result()
+    final = dict(result.heavy_hitters[d - 1])
+    print()
+    print("final-period planted items (estimate vs truth):")
+    for label, item, true_count in (
+        ("incumbent ", INCUMBENT, truth[d - 1, 0]),
+        ("challenger", CHALLENGER, truth[d - 1, 1]),
+    ):
+        estimate = final.get(item)
+        shown = f"{estimate:,.0f}" if estimate is not None else "not decoded"
+        print(f"  {label} {item}: {shown}   (true {true_count:,})")
     flip_truth = next(
-        (t for t, tops in enumerate(true_top, start=1) if tops[0] == 1), None
+        (t for t in range(1, d + 1) if truth[t - 1, 1] > truth[t - 1, 0]), None
     )
-    print()
-    print(f"mean precision@1 over all periods: {precision:.2f}")
-    print(f"leader flip detected at t={flip_estimate} (true flip: t={flip_truth})")
+    flip_estimate = next(
+        (
+            t
+            for t, tops in enumerate(session.top_items(), start=1)
+            if tops and tops[0] == CHALLENGER
+        ),
+        None,
+    )
+    print(f"leader flip decoded at t={flip_estimate} (true flip: t={flip_truth})")
 
 
 if __name__ == "__main__":

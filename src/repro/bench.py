@@ -40,9 +40,13 @@ __all__ = [
     "HEADLINE_POINT",
     "HEADLINE_SPEEDUP_FLOOR",
     "bench_grid",
+    "format_bench_table",
+    "format_protocol_bench_table",
     "git_sha",
     "headline_speedup",
+    "protocol_bench_grid",
     "run_kernel_bench",
+    "run_protocol_bench",
     "sparse_sign_matrix",
     "write_bench_report",
 ]
@@ -240,6 +244,104 @@ def format_bench_table(payload: dict) -> str:
             f"headline (n={payload['headline']['n']:,}, "
             f"d={payload['headline']['d']}): {headline:.2f}x "
             f"(target >= {payload['headline_speedup_floor']:.1f}x)"
+        )
+    return "\n".join(lines)
+
+
+def protocol_bench_grid(scale: str = "quick") -> list[dict]:
+    """Return the shared ``(n, d, k, epsilon)`` points for the protocols mode.
+
+    Every point is run by *every* registry protocol, so the sizes are pinned
+    to what the slowest entry (the per-user-object reference driver) can
+    sustain; the cross-protocol comparison needs a shared grid, not a large
+    one.
+    """
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    if scale == "smoke":
+        return [{"n": 300, "d": 8, "k": 2, "epsilon": 1.0}]
+    if scale == "quick":
+        return [{"n": 2_000, "d": 32, "k": 4, "epsilon": 1.0}]
+    return [
+        {"n": 2_000, "d": 32, "k": 4, "epsilon": 1.0},
+        {"n": 2_000, "d": 32, "k": 4, "epsilon": 0.5},
+        {"n": 5_000, "d": 64, "k": 8, "epsilon": 1.0},
+    ]
+
+
+def run_protocol_bench(*, scale: str = "quick", seed: int = 0) -> dict:
+    """Benchmark every ``PROTOCOLS`` entry; return the ``BENCH_protocols.json`` payload.
+
+    One row per (protocol, grid point): wall-clock seconds of one full run,
+    the run's max/mean absolute error, the expected per-user report bits,
+    and the deployed ``c_gap`` — the accuracy/cost counterpart of the kernel
+    trajectory.  All protocols at a point share the same generated Boolean
+    workload (item-domain protocols consume 0/1 columns natively, tracking
+    item 1), so rows are directly comparable within a point.
+    """
+    from repro.core.params import ProtocolParams
+    from repro.protocols import PROTOCOLS
+    from repro.workloads.generators import BoundedChangePopulation
+
+    grid = protocol_bench_grid(scale)
+    results = []
+    for point_index, point in enumerate(grid):
+        params = ProtocolParams(
+            n=point["n"], d=point["d"], k=point["k"], epsilon=point["epsilon"]
+        )
+        workload_rng = np.random.default_rng(seed + 1000 * point_index)
+        states = BoundedChangePopulation(
+            point["d"], point["k"], exact_k=True
+        ).sample(point["n"], workload_rng)
+        for name in sorted(PROTOCOLS):
+            protocol = PROTOCOLS[name]
+            rng = np.random.default_rng(seed + 1000 * point_index + 1)
+            start = time.perf_counter()
+            result = protocol.run(states, params, rng)
+            seconds = time.perf_counter() - start
+            results.append(
+                {
+                    "protocol": name,
+                    "n": point["n"],
+                    "d": point["d"],
+                    "k": point["k"],
+                    "epsilon": point["epsilon"],
+                    "seconds": seconds,
+                    "max_abs_error": result.max_abs_error,
+                    "mean_abs_error": result.mean_abs_error,
+                    "expected_report_bits": protocol.expected_report_bits(params),
+                    "c_gap": protocol.c_gap(params),
+                    "domain_size": protocol.domain_size,
+                }
+            )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "benchmark": "protocols",
+        "scale": scale,
+        "seed": seed,
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "protocols": sorted({row["protocol"] for row in results}),
+        "results": results,
+    }
+
+
+def format_protocol_bench_table(payload: dict) -> str:
+    """Human-readable summary of a protocols-mode payload (printed by the CLI)."""
+    lines = [
+        f"protocol accuracy/cost trajectory "
+        f"(scale={payload['scale']}, git={payload['git_sha'][:12]})",
+        f"{'protocol':<20} {'n':>7} {'d':>5} {'k':>3} {'eps':>5} "
+        f"{'seconds':>8} {'max|err|':>10} {'mean|err|':>10} {'bits/user':>10}",
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['protocol']:<20} {row['n']:>7,} {row['d']:>5} {row['k']:>3} "
+            f"{row['epsilon']:>5.2f} {row['seconds']:>8.3f} "
+            f"{row['max_abs_error']:>10.1f} {row['mean_abs_error']:>10.1f} "
+            f"{row['expected_report_bits']:>10.1f}"
         )
     return "\n".join(lines)
 

@@ -184,6 +184,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the streaming Session API period by period (prints the "
         "online estimate trajectory)",
     )
+    run_protocol_parser.add_argument(
+        "--domain-size", type=_positive_int, default=None,
+        help="item domain size m for the item-domain protocols "
+        "(categorical/hashed_frequency/sketch_median/heavy_hitters); the "
+        "workload becomes an item population over [0, m)",
+    )
+    run_protocol_parser.add_argument(
+        "--chunk-size", type=_positive_int, default=None,
+        help="bound the randomness pre-draw transients by processing users "
+        "in chunks of this size (chunk-aware protocols only)",
+    )
     _add_kernel_argument(run_protocol_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -238,8 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench",
-        help="benchmark the randomizer kernel backends and emit the "
-        "machine-readable BENCH_kernels.json perf-trajectory point",
+        help="benchmark kernel backends (--mode kernels) or every registry "
+        "protocol (--mode protocols) and emit the machine-readable "
+        "BENCH_*.json perf-trajectory point",
+    )
+    bench_parser.add_argument(
+        "--mode", choices=("kernels", "protocols"), default="kernels",
+        help="kernels: randomizer backend speedups (default); protocols: "
+        "per-protocol error/wall-clock/report-bits over a shared "
+        "n/d/k/eps grid covering every PROTOCOLS entry",
     )
     bench_parser.add_argument(
         "--scale", choices=("smoke", "quick", "full"), default="quick",
@@ -256,7 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--out", default="BENCH_kernels.json",
-        help="output JSON path (default: BENCH_kernels.json)",
+        help="output JSON path (default: BENCH_kernels.json, or "
+        "BENCH_protocols.json when --mode protocols is given without --out)",
     )
     bench_parser.add_argument("--seed", type=int, default=0)
     bench_parser.add_argument(
@@ -477,6 +496,14 @@ def _command_protocols(
     return 0
 
 
+def _item_domain_protocols() -> list[str]:
+    return sorted(
+        name
+        for name, protocol in PROTOCOLS.items()
+        if protocol.domain_size is not None
+    )
+
+
 def _command_run_protocol(
     name: str,
     n: int,
@@ -485,18 +512,32 @@ def _command_run_protocol(
     epsilon: float,
     seed: int,
     streaming: bool,
+    domain_size: Optional[int] = None,
+    chunk_size: Optional[int] = None,
     kernel: Optional[str] = None,
 ) -> int:
     import numpy as np
 
     from repro.core.params import ProtocolParams
     from repro.utils.rng import spawn_generators
-    from repro.workloads.generators import BoundedChangePopulation
+    from repro.workloads.generators import (
+        BoundedChangePopulation,
+        ItemChangePopulation,
+    )
 
     params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
     workload_rng, protocol_rng = spawn_generators(np.random.SeedSequence(seed), 2)
-    states = BoundedChangePopulation(d, k, start_prob=0.3).sample(n, workload_rng)
     protocol = get_protocol(name)
+    if domain_size is not None:
+        if protocol.domain_size is None:
+            print(
+                f"error: protocol {name!r} does not track an item domain, so "
+                f"--domain-size does not apply (item-domain protocols: "
+                f"{', '.join(_item_domain_protocols())})",
+                file=sys.stderr,
+            )
+            return 2
+        protocol = protocol.with_domain_size(domain_size)
     if kernel is not None and not protocol.supports_kernel:
         print(
             f"error: protocol {name!r} does not support --kernel "
@@ -504,7 +545,28 @@ def _command_run_protocol(
             file=sys.stderr,
         )
         return 2
-    extras = {} if kernel is None else {"kernel": kernel}
+    if chunk_size is not None and not protocol.supports_chunk_size:
+        print(
+            f"error: protocol {name!r} does not support --chunk-size "
+            f"(chunk-aware protocols: {', '.join(_chunk_aware_protocols())})",
+            file=sys.stderr,
+        )
+        return 2
+    if protocol.domain_size is not None:
+        # Item-domain workload: items from [0, m), power-law skewed so the
+        # sketch decoders have natural heavy hitters to find.
+        states = ItemChangePopulation(d, k, protocol.domain_size).sample(
+            n, workload_rng
+        )
+    else:
+        states = BoundedChangePopulation(d, k, start_prob=0.3).sample(
+            n, workload_rng
+        )
+    extras = {}
+    if kernel is not None:
+        extras["kernel"] = kernel
+    if chunk_size is not None:
+        extras["chunk_size"] = chunk_size
 
     if streaming:
         session = protocol.prepare(params, protocol_rng, **extras)
@@ -534,12 +596,24 @@ def _command_run_protocol(
         f"online={protocol.online} sequence_ldp={protocol.sequence_ldp}"
     )
     print(f"parameters:   n={n:,} d={d} k={k} epsilon={epsilon}")
+    if protocol.domain_size is not None:
+        print(f"item domain:  m={protocol.domain_size:,}")
     print(
         f"max |error|:  {result.max_abs_error:,.1f}  "
         f"({result.max_abs_error / n:.2%} of n)"
     )
     print(f"mean |error|: {result.mean_abs_error:,.1f}")
     print(f"exp. bits/user: {protocol.expected_report_bits(params):,.1f}")
+    decoded = getattr(result, "heavy_hitters", None)
+    if decoded:
+        final = decoded[-1]
+        if final:
+            listing = ", ".join(
+                f"{item} (~{estimate:,.0f})" for item, estimate in final
+            )
+        else:
+            listing = "(none decoded)"
+        print(f"top items @ t={d}: {listing}")
     return 0
 
 
@@ -581,25 +655,32 @@ def _command_sweep(args: argparse.Namespace) -> int:
             )
             return 2
     shards_before = store.shard_count() if store is not None else 0
-    table = sweep(
-        list(args.protocols),
-        base_params,
-        args.parameter,
-        args.values,
-        trials=args.trials,
-        seed=args.seed,
-        workers=workers,
-        shard_size=args.shard_size,
-        store=store,
-        resume=args.resume,
-        chunk_size=args.chunk_size,
-        kernel=args.kernel,
-        title=(
-            f"sweep over {args.parameter} "
-            f"({', '.join(args.protocols)}; trials={args.trials}, "
-            f"seed={args.seed})"
-        ),
-    )
+    try:
+        table = sweep(
+            list(args.protocols),
+            base_params,
+            args.parameter,
+            args.values,
+            trials=args.trials,
+            seed=args.seed,
+            workers=workers,
+            shard_size=args.shard_size,
+            store=store,
+            resume=args.resume,
+            chunk_size=args.chunk_size,
+            kernel=args.kernel,
+            title=(
+                f"sweep over {args.parameter} "
+                f"({', '.join(args.protocols)}; trials={args.trials}, "
+                f"seed={args.seed})"
+            ),
+        )
+    except TypeError as error:
+        # Legacy extension classes (and other non-runner specs) are rejected
+        # by resolve_runner before any worker starts; surface that as a
+        # readable argument error, not a mid-run traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(table.to_markdown())
     if store is not None:
         config = {
@@ -623,15 +704,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_bench(
-    scale: str, out: str, seed: int, assert_speedup: str
+    scale: str, out: str, seed: int, assert_speedup: str, mode: str = "kernels"
 ) -> int:
     from repro.bench import (
         HEADLINE_SPEEDUP_FLOOR,
         format_bench_table,
+        format_protocol_bench_table,
         run_kernel_bench,
+        run_protocol_bench,
         write_bench_report,
     )
     from repro.sim.parallel import default_workers
+
+    if mode == "protocols":
+        if out == "BENCH_kernels.json":  # the --out default; retarget per mode
+            out = "BENCH_protocols.json"
+        payload = run_protocol_bench(scale=scale, seed=seed)
+        path = write_bench_report(payload, out)
+        print(format_protocol_bench_table(payload))
+        print(f"(wrote {path})")
+        return 0
 
     payload = run_kernel_bench(scale=scale, seed=seed)
     path = write_bench_report(payload, out)
@@ -770,7 +862,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "sweep":
         return _command_sweep(args)
     if args.command == "bench":
-        return _command_bench(args.scale, args.out, args.seed, args.assert_speedup)
+        return _command_bench(
+            args.scale, args.out, args.seed, args.assert_speedup, args.mode
+        )
     if args.command == "results":
         if args.results_command == "show":
             return _command_results_show(args.path)
@@ -806,6 +900,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.epsilon,
             args.seed,
             args.streaming,
+            args.domain_size,
+            args.chunk_size,
             args.kernel,
         )
     parser.error(f"unknown command {args.command!r}")

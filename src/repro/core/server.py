@@ -61,6 +61,24 @@ class Server:
         return self._d
 
     @property
+    def scale(self) -> float:
+        """The estimator scale ``(1 + log2 d) / c_gap`` (Observation 4.3).
+
+        Multiplying any reconstruction of raw node sums by this scale turns
+        it into an unbiased count estimate — the contract the shared
+        :mod:`repro.dyadic.prefix_matrix` operators rely on.
+        """
+        return self._scale
+
+    def flat_node_values(self) -> np.ndarray:
+        """Return the raw node sums, flattened in ``flat_offsets`` layout.
+
+        The vector the :mod:`repro.dyadic.prefix_matrix` operators consume;
+        values are pre-scale (multiply reconstructions by :attr:`scale`).
+        """
+        return self._tree.flat_values()
+
+    @property
     def time(self) -> int:
         """The latest time period the server has advanced to."""
         return self._time

@@ -2,13 +2,29 @@
 solve frequency estimation and heavy hitter problems in richer domains via
 existing techniques").
 
+**The registry is the supported entry point.**  Every mechanism here is now a
+first-class :class:`~repro.protocols.base.LongitudinalProtocol` — get it via
+``repro.protocols.get_protocol("categorical" | "hashed_frequency" |
+"sketch_median" | "heavy_hitters")`` and you get streaming sessions, chunked
+execution, kernel backends, and ``run_trials``/``sweep``/CLI integration for
+free.  Passing the legacy classes below to ``sweep`` is rejected with a
+pointer to the registry name.  The classes remain as the original one-shot
+reference implementations:
+
 * :mod:`repro.extensions.categorical` — longitudinal frequency estimation
   over an item domain ``[m]`` via one-hot reduction with coordinate sampling
-  (the standard frequency-oracle bridge of [1, 2, 9]).
+  (registry: ``categorical``).
+* :mod:`repro.extensions.hashed_frequency` /
+  :mod:`repro.extensions.sketch` — sign-hash frequency oracle and its
+  median-of-repetitions sketch (registry: ``hashed_frequency``,
+  ``sketch_median``).
 * :mod:`repro.extensions.heavy_hitters` — per-period top-``r`` item recovery
-  on top of the categorical tracker.
+  (registry: ``heavy_hitters``, which scales to ``m ~ 2^20`` via per-bit
+  identity channels instead of the O(m) scan here).
 * :mod:`repro.extensions.range_queries` — interval-change and sliding-window
-  queries answered from the same reports via general dyadic decomposition.
+  queries answered from the same reports via the shared
+  :mod:`repro.dyadic.prefix_matrix` operators; the streaming surface is
+  ``HierarchicalStreamingSession.range_change`` / ``window_change_series``.
 """
 
 from repro.extensions.categorical import CategoricalLongitudinalProtocol

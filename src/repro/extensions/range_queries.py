@@ -12,6 +12,12 @@ the prefix estimates also answer:
 
 These are post-processing of already-released values, so they consume no
 additional privacy budget.
+
+Both queries run through the shared precomputed operators of
+:mod:`repro.dyadic.prefix_matrix` (cached per ``(horizon, window)``), not
+per-call ``Server`` tree walks; the streaming surface is
+:meth:`repro.protocols.sessions.HierarchicalStreamingSession.range_change` /
+``window_change_series``, which delegate here with the session's server.
 """
 
 from __future__ import annotations
@@ -19,6 +25,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.server import Server
+from repro.dyadic.prefix_matrix import (
+    range_decomposition_cols,
+    reconstruct_window_series,
+)
 from repro.utils.validation import ensure_positive
 
 __all__ = ["estimate_range_change", "window_change_series"]
@@ -30,7 +40,9 @@ def estimate_range_change(server: Server, left: int, right: int) -> float:
     Uses the general dyadic decomposition rather than differencing two prefix
     estimates; for narrow windows this touches fewer noisy nodes (at most
     ``2 log2 (right - left + 1) + 2`` instead of ``2 log2 d``), giving a
-    strictly smaller variance.
+    strictly smaller variance.  The decomposition's flat node slots are
+    precomputed once per ``(horizon, left, right)``; the query itself is one
+    gather-sum over the server's flattened node vector.
     """
     left = ensure_positive(left, "left")
     right = ensure_positive(right, "right")
@@ -38,7 +50,8 @@ def estimate_range_change(server: Server, left: int, right: int) -> float:
         raise ValueError(f"need left <= right, got [{left}..{right}]")
     if right > server.horizon:
         raise ValueError(f"right={right} exceeds the horizon d={server.horizon}")
-    return server.estimate_range_change(left, right)
+    cols = range_decomposition_cols(server.horizon, left, right)
+    return server.scale * float(server.flat_node_values()[cols].sum())
 
 
 def window_change_series(server: Server, window: int) -> np.ndarray:
@@ -46,15 +59,11 @@ def window_change_series(server: Server, window: int) -> np.ndarray:
 
     Entry ``t-1`` holds the estimate of ``a[t] - a[t - window]`` (with the
     convention ``a[s] = 0`` for ``s <= 0``).  Periods earlier than the window
-    fall back to the prefix estimate.
+    fall back to the prefix estimate.  The whole series is one ``bincount``
+    over the cached window-decomposition operator — not ``d`` per-period
+    tree walks.
     """
     window = ensure_positive(window, "window")
-    d = server.horizon
-    series = np.empty(d, dtype=np.float64)
-    for t in range(1, d + 1):
-        left = t - window + 1
-        if left <= 1:
-            series[t - 1] = server.estimate(t)
-        else:
-            series[t - 1] = server.estimate_range_change(left, t)
-    return series
+    return server.scale * reconstruct_window_series(
+        server.flat_node_values(), server.horizon, window
+    )

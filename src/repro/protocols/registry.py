@@ -15,14 +15,18 @@ from typing import Callable, Optional, Union
 
 from repro.protocols.adapters import (
     BunComposedProtocol,
+    CategoricalItemProtocol,
     CentralTreeProtocol,
     ErlingssonProtocol,
     FutureRandObjectProtocol,
     FutureRandProtocol,
+    HashedFrequencyItemProtocol,
+    HeavyHittersProtocol,
     MemoizationProtocol,
     NaiveSplitProtocol,
     NaiveUnsplitProtocol,
     OfflineTreeProtocol,
+    SketchMedianProtocol,
 )
 from repro.protocols.base import LongitudinalProtocol
 
@@ -51,6 +55,10 @@ def _build_registry() -> dict[str, LongitudinalProtocol]:
         MemoizationProtocol(),
         OfflineTreeProtocol(),
         CentralTreeProtocol(),
+        CategoricalItemProtocol(),
+        HashedFrequencyItemProtocol(),
+        SketchMedianProtocol(),
+        HeavyHittersProtocol(),
     )
     registry: dict[str, LongitudinalProtocol] = {}
     for protocol in protocols:
@@ -97,6 +105,44 @@ def list_protocols(
     return names
 
 
+#: Retired pre-registry extension classes and the registry entry that
+#: replaced each.  ``resolve_runner`` rejects these up front — a legacy
+#: class smuggled into a sweep used to die deep inside a worker process
+#: with an unpicklable traceback.
+_LEGACY_EXTENSION_ALTERNATIVES: dict[str, str] = {
+    "CategoricalLongitudinalProtocol": "categorical",
+    "HashedFrequencyProtocol": "hashed_frequency",
+    "MedianSketchProtocol": "sketch_median",
+    "HeavyHitterTracker": "heavy_hitters",
+}
+
+
+def _reject_legacy_extension(spec: object) -> None:
+    """Raise ``TypeError`` if ``spec`` is a retired ``repro.extensions`` class.
+
+    Catches the class itself, instances, and bound methods (e.g.
+    ``MedianSketchProtocol(...).run``) — every shape a pre-PR-6 call site
+    would plausibly hand to ``sweep``/``run_trials``.
+    """
+    candidate = getattr(spec, "__self__", spec)  # unwrap bound methods
+    cls = candidate if isinstance(candidate, type) else type(candidate)
+    if cls.__name__ in _LEGACY_EXTENSION_ALTERNATIVES and getattr(
+        cls, "__module__", ""
+    ).startswith("repro.extensions"):
+        alternative = _LEGACY_EXTENSION_ALTERNATIVES[cls.__name__]
+        raise TypeError(
+            f"{cls.__name__} is a legacy extensions class and cannot be used "
+            f"as a protocol runner; use the registry entry "
+            f"{alternative!r} instead (repro.protocols.get_protocol"
+            f"({alternative!r}), optionally .with_domain_size(m)). "
+            f"Registry alternatives for all legacy classes: "
+            + ", ".join(
+                f"{old} -> {new!r}"
+                for old, new in sorted(_LEGACY_EXTENSION_ALTERNATIVES.items())
+            )
+        )
+
+
 def resolve_runner(spec: ProtocolLike) -> tuple[str, Callable]:
     """Normalize ``spec`` into a ``(name, runner)`` pair.
 
@@ -104,12 +150,19 @@ def resolve_runner(spec: ProtocolLike) -> tuple[str, Callable]:
     * a :class:`LongitudinalProtocol` instance is used directly under its
       own name;
     * any other callable (the historical plain-runner path) is passed
-      through under its ``__name__``.
+      through under its ``__name__`` — except retired ``repro.extensions``
+      classes, which are rejected with a pointer to their registry
+      replacements.
     """
     if isinstance(spec, str):
-        return spec, get_protocol(spec)
+        protocol = get_protocol(spec)
+        # Defensive: a legacy class smuggled into the registry dict (e.g. by
+        # a test fixture or a fork) still gets the readable rejection.
+        _reject_legacy_extension(protocol)
+        return spec, protocol
     if isinstance(spec, LongitudinalProtocol):
         return spec.name, spec
+    _reject_legacy_extension(spec)
     if callable(spec):
         return getattr(spec, "__name__", repr(spec)), spec
     raise TypeError(

@@ -5,13 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.dyadic.intervals import DyadicInterval, decompose_prefix
+from repro.dyadic.intervals import DyadicInterval, decompose_prefix, decompose_range
 from repro.dyadic.prefix_matrix import (
     flat_node_count,
     flat_offsets,
     prefix_decomposition_indices,
     prefix_decomposition_matrix,
+    range_decomposition_cols,
     reconstruct_all_prefixes,
+    reconstruct_range,
+    reconstruct_window_series,
+    window_decomposition_indices,
 )
 from repro.dyadic.tree import DyadicTree
 
@@ -87,6 +91,108 @@ class TestReconstruction:
         rows, cols = prefix_decomposition_indices(16)
         assert rows.size == sum(bin(t).count("1") for t in range(1, 17))
         assert rows.size == cols.size
+
+
+class TestRangeOperator:
+    @pytest.mark.parametrize("d", [2, 8, 64])
+    def test_cols_match_decompose_range(self, d):
+        offsets = flat_offsets(d)
+        rng = np.random.default_rng(d)
+        for _ in range(20):
+            left = int(rng.integers(1, d + 1))
+            right = int(rng.integers(left, d + 1))
+            expected = sorted(
+                int(offsets[i.order]) + i.index - 1
+                for i in decompose_range(left, right)
+            )
+            assert sorted(range_decomposition_cols(d, left, right)) == expected
+
+    def test_reconstruct_range_matches_tree_range_sum(self):
+        d = 32
+        tree = DyadicTree(d)
+        rng = np.random.default_rng(9)
+        for interval in tree.intervals():
+            tree[interval] = float(rng.normal())
+        flat = tree.flat_values()
+        for left, right in [(1, 32), (5, 9), (17, 17), (2, 31)]:
+            assert reconstruct_range(flat, d, left, right) == pytest.approx(
+                tree.range_sum(left, right)
+            )
+
+    def test_interval_count_stays_logarithmic(self):
+        d = 1024
+        for left, right in [(100, 163), (2, 1023), (512, 513)]:
+            cols = range_decomposition_cols(d, left, right)
+            budget = 2 * int(np.ceil(np.log2(right - left + 1))) + 2
+            assert cols.size <= budget
+
+    def test_validates_bounds_and_shape(self):
+        with pytest.raises(ValueError, match="left <= right"):
+            range_decomposition_cols(8, 5, 3)
+        with pytest.raises(ValueError, match="left <= right"):
+            range_decomposition_cols(8, 1, 9)
+        with pytest.raises(ValueError, match="shape"):
+            reconstruct_range(np.zeros(3), 8, 1, 4)
+
+    def test_cols_are_cached_and_readonly(self):
+        first = range_decomposition_cols(16, 3, 11)
+        assert range_decomposition_cols(16, 3, 11) is first
+        with pytest.raises(ValueError):
+            first[0] = 0
+
+
+class TestWindowOperator:
+    @pytest.mark.parametrize("d", [4, 16, 64])
+    @pytest.mark.parametrize("window", [1, 3, 8])
+    def test_series_matches_naive_per_period_walk(self, d, window):
+        rng = np.random.default_rng(d + window)
+        flat = rng.normal(size=2 * d - 1)
+        offsets = flat_offsets(d)
+        expected = []
+        for t in range(1, d + 1):
+            left = t - window + 1
+            intervals = (
+                decompose_prefix(t) if left <= 1 else decompose_range(left, t)
+            )
+            expected.append(
+                sum(flat[offsets[i.order] + i.index - 1] for i in intervals)
+            )
+        np.testing.assert_allclose(
+            reconstruct_window_series(flat, d, window), expected
+        )
+
+    def test_window_one_is_the_per_period_difference_on_consistent_tree(self):
+        """On a consistent tree (node = sum of its leaves) the window-1
+        series is exactly the per-period difference of the prefix series."""
+        d = 16
+        rng = np.random.default_rng(1)
+        leaves = rng.normal(size=d)
+        flat = np.concatenate(
+            [
+                leaves.reshape(d >> order, 1 << order).sum(axis=1)
+                for order in range(d.bit_length())
+            ]
+        )
+        prefixes = reconstruct_all_prefixes(flat, d)
+        np.testing.assert_allclose(prefixes, np.cumsum(leaves))
+        series = reconstruct_window_series(flat, d, 1)
+        np.testing.assert_allclose(series, np.diff(prefixes, prepend=0.0))
+
+    def test_window_at_least_horizon_is_the_prefix_series(self):
+        d = 8
+        flat = np.random.default_rng(2).normal(size=2 * d - 1)
+        np.testing.assert_allclose(
+            reconstruct_window_series(flat, d, d),
+            reconstruct_all_prefixes(flat, d),
+        )
+
+    def test_indices_cached_and_validated(self):
+        first = window_decomposition_indices(16, 4)
+        assert window_decomposition_indices(16, 4) is first
+        with pytest.raises(ValueError, match="window"):
+            window_decomposition_indices(16, 0)
+        with pytest.raises(ValueError, match="shape"):
+            reconstruct_window_series(np.zeros(3), 8, 2)
 
 
 class TestTreeIntegration:

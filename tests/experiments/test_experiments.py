@@ -12,7 +12,7 @@ from repro.sim.results import ResultTable
 
 class TestRegistry:
     def test_all_registered(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e3").experiment_id == "E3"
@@ -132,6 +132,25 @@ class TestE12OrderAllocation:
         table = get_experiment("E12").run(scale="small", seed=1)
         errors = {row["allocation"]: row["raw_max_abs"] for row in table.rows}
         assert errors["uniform"] < errors["root_heavy"]
+
+
+class TestE15HeavyHitters:
+    def test_recall_perfect_at_base_point_and_degrades_with_domain(self):
+        table = get_experiment("E15").run(scale="small", seed=0)
+        eps_rows = {
+            row["epsilon"]: row for row in table.rows if row["sweep"] == "epsilon"
+        }
+        # The base operating point (eps=8) decodes every planted heavy.
+        assert eps_rows[8.0]["recall"] == 1.0
+        # Shrinking the budget cannot improve recall.
+        assert eps_rows[4.0]["recall"] <= eps_rows[8.0]["recall"]
+        m_rows = sorted(
+            (row for row in table.rows if row["sweep"] == "m"),
+            key=lambda row: row["m"],
+        )
+        # More domain bits split the same users across more channels.
+        assert m_rows[-1]["recall"] <= m_rows[0]["recall"]
+        assert all(0.0 <= row["precision"] <= 1.0 for row in table.rows)
 
 
 class TestAllExperimentsReturnTables:

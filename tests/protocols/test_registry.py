@@ -30,6 +30,18 @@ EXPECTED_NAMES = {
     "memoization",
     "offline_tree",
     "central_tree",
+    "categorical",
+    "hashed_frequency",
+    "sketch_median",
+    "heavy_hitters",
+}
+
+#: The registry entries that consume item matrices (domain [0, m)).
+ITEM_DOMAIN_NAMES = {
+    "categorical",
+    "hashed_frequency",
+    "sketch_median",
+    "heavy_hitters",
 }
 
 
@@ -152,6 +164,103 @@ class TestProtocolContract:
         session.ingest(1, tiny_states[:, 0])
         with pytest.raises(EstimatesNotReady):
             session.result()
+
+
+@pytest.mark.parametrize("name", sorted(ITEM_DOMAIN_NAMES))
+class TestItemDomainContract:
+    """The item-domain entries advertise and honour their extra surface."""
+
+    def test_capabilities_advertise_domain(self, name):
+        protocol = get_protocol(name)
+        capabilities = protocol.capabilities()
+        assert capabilities["domain_size"] == protocol.domain_size
+        assert protocol.domain_size >= 2
+        assert capabilities["supports_chunk_size"] is True
+        assert capabilities["supports_kernel"] is True
+
+    def test_with_domain_size_returns_resized_instance(self, name):
+        protocol = get_protocol(name)
+        resized = protocol.with_domain_size(64)
+        assert resized is not protocol
+        assert resized.domain_size == 64
+        assert get_protocol(name).domain_size == protocol.domain_size
+
+    def test_rejects_degenerate_domain(self, name):
+        with pytest.raises(ValueError, match="at least 2"):
+            get_protocol(name).with_domain_size(1)
+
+    def test_item_run_returns_item_result(self, name):
+        from repro.core.protocol import ItemDomainResult
+
+        protocol = get_protocol(name).with_domain_size(8)
+        rng = np.random.default_rng(9)
+        items = rng.integers(0, 8, size=(TINY_PARAMS.n, 1), dtype=np.int64)
+        items = np.repeat(items, TINY_PARAMS.d, axis=1)
+        result = protocol.run(items, TINY_PARAMS, np.random.default_rng(10))
+        assert isinstance(result, ItemDomainResult)
+        assert result.domain_size == 8
+        assert np.array_equal(
+            result.true_counts, (items == 1).sum(axis=0)
+        )
+
+    def test_rejects_items_outside_domain(self, name):
+        protocol = get_protocol(name).with_domain_size(4)
+        session = protocol.prepare(TINY_PARAMS, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="item values"):
+            session.ingest(1, np.full(TINY_PARAMS.n, 4, dtype=np.int64))
+
+
+class TestLegacyExtensionRejection:
+    """`sweep`/`resolve_runner` refuse the superseded extension classes."""
+
+    @pytest.mark.parametrize(
+        "cls_name, registry_name",
+        [
+            ("CategoricalLongitudinalProtocol", "categorical"),
+            ("HashedFrequencyProtocol", "hashed_frequency"),
+            ("MedianSketchProtocol", "sketch_median"),
+        ],
+    )
+    def test_resolve_runner_rejects_class(self, cls_name, registry_name):
+        import repro.extensions as extensions
+
+        with pytest.raises(TypeError, match=registry_name):
+            resolve_runner(getattr(extensions, cls_name))
+
+    def test_rejects_instances_too(self):
+        from repro.extensions import CategoricalLongitudinalProtocol
+
+        legacy = CategoricalLongitudinalProtocol(m=4, d=8, k=2, epsilon=1.0)
+        with pytest.raises(TypeError, match="categorical"):
+            resolve_runner(legacy)
+
+    def test_sweep_surfaces_readable_error(self):
+        from repro.extensions import HashedFrequencyProtocol
+        from repro.sim.runner import sweep
+
+        params = ProtocolParams(n=150, d=16, k=2, epsilon=1.0)
+        with pytest.raises(TypeError, match="get_protocol"):
+            sweep([HashedFrequencyProtocol], params, "k", [2], trials=1, seed=0)
+
+    def test_cli_sweep_exits_2_with_message(self, capsys):
+        from unittest import mock
+
+        from repro.cli import main
+        from repro.extensions import MedianSketchProtocol
+
+        with mock.patch.dict(
+            "repro.protocols.registry.PROTOCOLS",
+            {"legacy_sketch": MedianSketchProtocol},
+        ):
+            code = main(
+                [
+                    "sweep", "--protocols", "legacy_sketch",
+                    "--parameter", "k", "--values", "1",
+                    "--n", "100", "--d", "8",
+                ]
+            )
+        assert code == 2
+        assert "sketch_median" in capsys.readouterr().err
 
 
 class TestSessionValidation:

@@ -57,6 +57,9 @@ class TestExactEquivalence:
         "memoization",
         "offline_tree",
         "central_tree",
+        "categorical",
+        "hashed_frequency",
+        "sketch_median",
     ],
 )
 class TestDistributionalEquivalence:
@@ -122,3 +125,46 @@ class TestDistributionalEquivalence:
             assert spread_one_shot == spread_streamed
         else:
             assert 0.3 < spread_streamed / spread_one_shot < 3.0
+
+
+class TestHeavyHittersEquivalence:
+    """heavy_hitters streams vs runs with matching mean and spread.
+
+    Truth-unbiasedness is deliberately NOT asserted: the scalar series is a
+    sketch-bucket median, so collisions with other items contribute a
+    positive bias the Boolean protocols do not have.
+    """
+
+    TRIALS = 20
+
+    def test_mean_and_spread_agree(self):
+        protocol = get_protocol("heavy_hitters").with_domain_size(32)
+        states = _signal_states()
+        one_shot = np.array(
+            [
+                protocol.run(
+                    states, PARAMS, np.random.default_rng(5000 + t)
+                ).estimates[-1]
+                for t in range(self.TRIALS)
+            ]
+        )
+        streamed = np.array(
+            [
+                _stream(protocol, states, np.random.default_rng(6000 + t))[-1]
+                for t in range(self.TRIALS)
+            ]
+        )
+        pooled_se = np.sqrt(
+            np.var(one_shot, ddof=1) / self.TRIALS
+            + np.var(streamed, ddof=1) / self.TRIALS
+        )
+        assert abs(one_shot.mean() - streamed.mean()) <= 4 * max(pooled_se, 1e-9)
+        ratio = np.std(streamed, ddof=1) / np.std(one_shot, ddof=1)
+        assert 0.3 < ratio < 3.0
+
+    def test_same_seed_is_bit_identical(self):
+        protocol = get_protocol("heavy_hitters").with_domain_size(32)
+        states = _signal_states()
+        run_result = protocol.run(states, PARAMS, np.random.default_rng(17))
+        stream_estimates = _stream(protocol, states, np.random.default_rng(17))
+        np.testing.assert_array_equal(run_result.estimates, stream_estimates)

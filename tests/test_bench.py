@@ -12,8 +12,11 @@ from repro.bench import (
     HEADLINE_POINT,
     bench_grid as _bench_grid,  # aliased: pytest.ini collects bench_* names
     format_bench_table,
+    format_protocol_bench_table,
     headline_speedup,
+    protocol_bench_grid as _protocol_bench_grid,
     run_kernel_bench,
+    run_protocol_bench,
     sparse_sign_matrix,
     write_bench_report,
 )
@@ -70,6 +73,64 @@ class TestBenchEngine:
         payload = run_kernel_bench(scale="smoke", seed=2)
         text = format_bench_table(payload)
         assert "reference" in text and "fast" in text and "speedup" in text
+
+
+class TestProtocolBench:
+    def test_grid_scales(self):
+        assert _protocol_bench_grid("smoke")
+        assert len(_protocol_bench_grid("full")) > len(_protocol_bench_grid("quick"))
+        with pytest.raises(ValueError, match="scale"):
+            _protocol_bench_grid("huge")
+
+    def test_smoke_payload_covers_every_registry_entry(self):
+        from repro.protocols import PROTOCOLS
+
+        payload = run_protocol_bench(scale="smoke", seed=0)
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["benchmark"] == "protocols"
+        assert payload["protocols"] == sorted(PROTOCOLS)
+        covered = {row["protocol"] for row in payload["results"]}
+        assert covered == set(PROTOCOLS)
+        for row in payload["results"]:
+            assert row["seconds"] > 0
+            assert row["max_abs_error"] >= row["mean_abs_error"] >= 0
+            assert row["expected_report_bits"] > 0
+            assert row["c_gap"] > 0
+        assert "git_sha" in payload and payload["git_sha"]
+
+    def test_rows_at_a_point_share_the_workload_grid(self):
+        payload = run_protocol_bench(scale="smoke", seed=1)
+        points = {
+            (row["n"], row["d"], row["k"], row["epsilon"])
+            for row in payload["results"]
+        }
+        assert len(points) == len(_protocol_bench_grid("smoke"))
+
+    def test_format_table_lists_protocols(self):
+        payload = run_protocol_bench(scale="smoke", seed=2)
+        text = format_protocol_bench_table(payload)
+        assert "heavy_hitters" in text and "future_rand" in text
+        assert "bits/user" in text
+
+    def test_write_report_round_trips(self, tmp_path):
+        payload = run_protocol_bench(scale="smoke", seed=3)
+        path = write_bench_report(payload, tmp_path / "BENCH_protocols.json")
+        assert json.loads(path.read_text()) == json.loads(json.dumps(payload))
+
+    def test_cli_mode_protocols_emits_json(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_protocols.json"
+        assert main(
+            ["bench", "--mode", "protocols", "--scale", "smoke", "--out", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "protocols"
+        assert "protocol" in capsys.readouterr().out
+
+    def test_cli_mode_protocols_retargets_default_out(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--mode", "protocols", "--scale", "smoke"]) == 0
+        assert (tmp_path / "BENCH_protocols.json").exists()
+        assert not (tmp_path / "BENCH_kernels.json").exists()
 
 
 class TestBenchCli:
