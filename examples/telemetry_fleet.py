@@ -45,7 +45,7 @@ def online_mechanics() -> None:
         scenario.params, rng=np.random.default_rng(4), report_drop_rate=0.3
     ).run(scenario.states, degraded.append)
 
-    for full, dropped in zip(healthy, degraded):
+    for full, dropped in zip(healthy, degraded, strict=True):
         if full.t % 8 == 0:
             print(
                 f"{full.t:5d}  {full.reports_this_period:8d}  "

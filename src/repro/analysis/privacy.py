@@ -135,7 +135,7 @@ def sequence_support_patterns(length: int, k: int) -> Iterator[np.ndarray]:
         for positions in itertools.combinations(range(length), support_size):
             for signs in itertools.product((-1, 1), repeat=support_size):
                 v = np.zeros(length, dtype=np.int8)
-                for position, sign in zip(positions, signs):
+                for position, sign in zip(positions, signs, strict=True):
                     v[position] = sign
                 yield v
 

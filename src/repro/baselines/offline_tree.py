@@ -119,7 +119,7 @@ def run_offline_tree(
             node_estimates += debiased_tables[user, hashes[user]]
 
     # Reconstruct prefix estimates from the flat node layout.
-    order_offsets = np.cumsum([0] + [d >> order for order in range(num_orders)])
+    order_offsets = np.cumsum([0, *(d >> order for order in range(num_orders))])
     estimates = np.empty(d, dtype=np.float64)
     for t in range(1, d + 1):
         total = 0.0

@@ -37,9 +37,11 @@ from repro.core.future_rand import FutureRandFamily
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BENCH_SEED_SCHEME",
     "HEADLINE_POINT",
     "HEADLINE_SPEEDUP_FLOOR",
     "bench_grid",
+    "bench_rng",
     "format_bench_table",
     "format_protocol_bench_table",
     "git_sha",
@@ -52,7 +54,22 @@ __all__ = [
 ]
 
 #: Bump when the JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: v2: seeds derive from a keyed SeedSequence tree (``bench_rng``), replacing
+#: the overlapping ``seed + 1000 * point_index`` offset arithmetic, and the
+#: payload records the derivation under ``seed_scheme``.
+BENCH_SCHEMA_VERSION = 2
+
+#: The derivation recorded in every payload's provenance block: stream ``s``
+#: at grid point ``p`` draws from
+#: ``SeedSequence(entropy=seed, spawn_key=(p, s))`` — independent streams by
+#: construction (no ad-hoc offsets), stable under grid edits that do not
+#: reorder points.
+BENCH_SEED_SCHEME = "SeedSequence(entropy=seed, spawn_key=(point_index, stream))"
+
+#: Stream indices under each grid point's seed-tree node.
+_STREAM_INPUT = 0  # the shared input matrix / workload at the point
+_STREAM_PROTOCOL = 1  # protocol randomness (same stream for every protocol)
+_STREAM_ROUNDS = 2  # kernel timing rounds: stream 2 + round_index
 
 #: The perf-trajectory reference configuration for ``randomize_matrix``.
 HEADLINE_POINT = {"n": 100_000, "d": 1024, "k": 8, "epsilon": 1.0}
@@ -113,19 +130,36 @@ def git_sha() -> str:
     return sha if result.returncode == 0 and sha else "unknown"
 
 
+def bench_rng(seed: int, point_index: int, stream: int) -> np.random.Generator:
+    """One generator leaf of the bench seed tree (see ``BENCH_SEED_SCHEME``).
+
+    Every stream is a keyed ``SeedSequence`` child of the root seed — the
+    blessed derivation (cf. ``repro.sim.runner``'s trial tree) instead of
+    ``seed + offset`` arithmetic, whose streams are not independent and
+    collide across layers.  Reconstructing the same ``(point_index, stream)``
+    leaf always yields an identical generator, which is what keeps every
+    kernel (and every protocol) at a point on the same input matrix.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(point_index, stream))
+    )
+
+
 def _time_randomize_matrix(
     kernel: str,
     point: dict,
     seed: int,
+    point_index: int,
 ) -> float:
     """Best-of-``rounds`` seconds for one (kernel, grid point) cell."""
     family = FutureRandFamily(point["k"], point["epsilon"])
     matrix = sparse_sign_matrix(
-        point["n"], point["d"], point["k"], np.random.default_rng(seed)
+        point["n"], point["d"], point["k"],
+        bench_rng(seed, point_index, _STREAM_INPUT),
     )
     best = float("inf")
     for round_index in range(point.get("rounds", 1)):
-        rng = np.random.default_rng(seed + 1 + round_index)
+        rng = bench_rng(seed, point_index, _STREAM_ROUNDS + round_index)
         start = time.perf_counter()
         output = family.randomize_matrix(matrix, rng, kernel=kernel)
         elapsed = time.perf_counter() - start
@@ -147,9 +181,9 @@ def run_kernel_bench(
     """Run the grid and return the ``BENCH_kernels.json`` payload."""
     grid = bench_grid(scale)
     results = []
-    for point in grid:
+    for point_index, point in enumerate(grid):
         for kernel in kernels:
-            seconds = _time_randomize_matrix(kernel, point, seed)
+            seconds = _time_randomize_matrix(kernel, point, seed, point_index)
             reports = point["n"] * point["d"]
             results.append(
                 {
@@ -189,6 +223,7 @@ def run_kernel_bench(
         "benchmark": "randomize_matrix",
         "scale": scale,
         "seed": seed,
+        "seed_scheme": BENCH_SEED_SCHEME,
         "git_sha": git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -289,13 +324,16 @@ def run_protocol_bench(*, scale: str = "quick", seed: int = 0) -> dict:
         params = ProtocolParams(
             n=point["n"], d=point["d"], k=point["k"], epsilon=point["epsilon"]
         )
-        workload_rng = np.random.default_rng(seed + 1000 * point_index)
+        workload_rng = bench_rng(seed, point_index, _STREAM_INPUT)
         states = BoundedChangePopulation(
             point["d"], point["k"], exact_k=True
         ).sample(point["n"], workload_rng)
         for name in sorted(PROTOCOLS):
             protocol = PROTOCOLS[name]
-            rng = np.random.default_rng(seed + 1000 * point_index + 1)
+            # The same leaf for every protocol at the point: rows stay
+            # directly comparable (identical randomness budget), and the
+            # leaf is independent of the workload stream by construction.
+            rng = bench_rng(seed, point_index, _STREAM_PROTOCOL)
             start = time.perf_counter()
             result = protocol.run(states, params, rng)
             seconds = time.perf_counter() - start
@@ -319,6 +357,7 @@ def run_protocol_bench(*, scale: str = "quick", seed: int = 0) -> dict:
         "benchmark": "protocols",
         "scale": scale,
         "seed": seed,
+        "seed_scheme": BENCH_SEED_SCHEME,
         "git_sha": git_sha(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),

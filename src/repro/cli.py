@@ -69,7 +69,9 @@ def _positive_int(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}"
@@ -303,6 +305,15 @@ def build_parser() -> argparse.ArgumentParser:
     merge_parser.add_argument(
         "inputs", nargs="+", help="table JSON files (or store table paths) to merge"
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="check the determinism contracts (seed tree, picklability, "
+        "capability metadata) with the repro.lint rule registry",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -904,6 +915,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.chunk_size,
             args.kernel,
         )
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -108,11 +108,10 @@ def _run_point(
         m, width=config["width"], top_r=config["top_r"]
     )
     recalls, precisions, scalar_errors = [], [], []
-    for trial, (workload_rng, protocol_rng) in enumerate(
-        zip(
-            spawn_generators(np.random.SeedSequence(seed), config["trials"]),
-            spawn_generators(np.random.SeedSequence(seed + 1), config["trials"]),
-        )
+    for workload_rng, protocol_rng in zip(
+        spawn_generators(np.random.SeedSequence(seed), config["trials"]),
+        spawn_generators(np.random.SeedSequence(seed + 1), config["trials"]),
+        strict=True,
     ):
         states = planted_states(n, d, m, heavies, workload_rng)
         result = protocol.run(states, params, protocol_rng)

@@ -19,9 +19,13 @@ a registry name, or a kernel instance.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # import cycle: core.future_rand imports the kernels
+    from repro.core.annulus import AnnulusLaw
+    from repro.core.composed_randomizer import ComposedRandomizer
 
 __all__ = [
     "DEFAULT_KERNEL",
@@ -60,7 +64,7 @@ class RandomizerKernel(abc.ABC):
     @abc.abstractmethod
     def sample_composed_batch(
         self,
-        law,
+        law: AnnulusLaw,
         b: np.ndarray,
         count: int,
         rng: np.random.Generator,
@@ -83,7 +87,7 @@ class RandomizerKernel(abc.ABC):
         self,
         matrix: np.ndarray,
         k: int,
-        sampler,
+        sampler: ComposedRandomizer,
         rng: np.random.Generator,
     ) -> np.ndarray:
         """FutureRand-style randomization of a ``(users, L)`` ternary matrix.

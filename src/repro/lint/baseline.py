@@ -1,0 +1,126 @@
+"""The grandfathered-findings baseline (``lint-baseline.json``).
+
+A baseline entry says "this finding predates the rule (or fixing it would
+change pinned outputs); it is known, visible, and non-blocking".  Entries
+match findings by :meth:`~repro.lint.findings.Finding.fingerprint` — a hash
+of ``(rule, path, source line)`` that survives unrelated edits moving the
+line — with *counts*, so two identical violations on one line need two
+entries and fixing one of them is progress the report shows.
+
+Three buckets come out of :meth:`Baseline.apply`:
+
+* **new** — findings with no baseline budget left: these fail the run;
+* **baselined** — findings absorbed by the baseline: reported, exit 0;
+* **stale** — baseline entries nothing matched anymore: the violation was
+  fixed, so the entry should be deleted (``--update-baseline`` does).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "write_baseline"]
+
+_BASELINE_SCHEMA = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint budgets loaded from (or destined for) a baseline file."""
+
+    counts: Counter = field(default_factory=Counter)
+    #: Human-readable context per fingerprint, carried through rewrites.
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        schema = payload.get("schema")
+        if schema != _BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema {schema!r} in {path}; "
+                f"this tool reads schema {_BASELINE_SCHEMA}"
+            )
+        baseline = cls()
+        for entry in payload.get("findings", []):
+            fingerprint = entry["fingerprint"]
+            baseline.counts[fingerprint] += int(entry.get("count", 1))
+            note = entry.get("note", "")
+            if note:
+                baseline.notes[fingerprint] = note
+        return baseline
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Split ``findings`` into (new, baselined); also return stale prints.
+
+        Budget consumption is order-independent because findings arrive in
+        the engine's deterministic sort order and matching is by count, not
+        position.
+        """
+        remaining = Counter(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint()
+            if remaining[fingerprint] > 0:
+                remaining[fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(
+            fingerprint for fingerprint, count in remaining.items() if count > 0
+        )
+        return new, baselined, stale
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: Path, notes: dict[str, str] | None = None
+) -> Path:
+    """Write ``findings`` as the new baseline file (``--update-baseline``).
+
+    Entries are aggregated by fingerprint with counts, annotated with the
+    finding's location/message at write time (context for the reviewer; only
+    the fingerprint and count are matched on later reads).
+    """
+    notes = notes or {}
+    by_fingerprint: dict[str, dict[str, object]] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        fingerprint = finding.fingerprint()
+        entry = by_fingerprint.get(fingerprint)
+        if entry is None:
+            by_fingerprint[fingerprint] = {
+                "fingerprint": fingerprint,
+                "count": 1,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "note": notes.get(fingerprint, ""),
+            }
+        else:
+            entry["count"] = int(entry["count"]) + 1
+    payload = {
+        "schema": _BASELINE_SCHEMA,
+        "comment": (
+            "Grandfathered repro-lint findings. Matching is by fingerprint "
+            "(rule + path + source line) with counts; delete entries as the "
+            "violations are fixed, or run: repro lint --update-baseline"
+        ),
+        "findings": sorted(
+            by_fingerprint.values(),
+            key=lambda entry: (str(entry["path"]), str(entry["fingerprint"])),
+        ),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,169 @@
+"""The capability-metadata cross-check (REP107) — live introspection, no AST.
+
+The registry's ``supports_chunk_size``/``supports_kernel`` flags are load-
+bearing metadata: the CLI routes ``--kernel``/``--chunk-size`` through them,
+``repro protocols`` prints them, and the bench harness branches on them.  A
+flag that disagrees with the actual ``run``/``prepare`` signature either
+advertises a capability that raises ``TypeError`` at dispatch or hides one
+that silently never gets exercised.  This rule imports the real registry and
+checks every entry's flags against :func:`inspect.signature`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import linecache
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.rules import ProjectRule, register_rule
+
+__all__ = ["CapabilityMetadataRule"]
+
+
+def _accepts_keyword(function: Callable, name: str) -> bool:
+    """Whether ``function`` can be called with keyword argument ``name``."""
+    try:
+        signature = inspect.signature(function)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == name and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def _anchor(protocol: object, repo_root: Optional[Path]) -> tuple[str, int, str]:
+    """(repo-relative path, line, snippet) of a protocol's class definition."""
+    cls = type(protocol)
+    try:
+        source_file = inspect.getsourcefile(cls)
+        _, line = inspect.findsource(cls)
+        line += 1  # findsource is 0-indexed
+    except (OSError, TypeError):
+        return "src/repro/protocols/adapters.py", 0, ""
+    path = Path(source_file or "")
+    if repo_root is not None:
+        try:
+            path = path.relative_to(repo_root)
+        except ValueError:
+            pass
+    snippet = linecache.getline(str(source_file), line).strip()
+    return path.as_posix(), line, snippet
+
+
+class CapabilityMetadataRule(ProjectRule):
+    """Every ``PROTOCOLS`` entry's capability flags must match its signatures."""
+
+    id = "REP107"
+    slug = "capability-metadata"
+    summary = (
+        "supports_chunk_size/supports_kernel flag disagrees with the "
+        "protocol's actual run/prepare signature"
+    )
+    rationale = (
+        "The CLI, the bench harness and ``repro protocols`` all branch on "
+        "these flags; a stale flag either dispatches a kwarg the session "
+        "rejects (TypeError mid-run) or hides a capability so it is never "
+        "exercised or tested.  The flags were introduced with the kernel "
+        "backends (PR 5) and chunked execution (PR 4) precisely so callers "
+        "never have to try/except their way through the registry."
+    )
+    hint = (
+        "either add the kwarg to run/prepare or flip the ClassVar flag on "
+        "the adapter so metadata and signature agree"
+    )
+    anchor = "src/repro/protocols/registry.py"
+
+    def check_project(
+        self,
+        registry: Optional[Mapping[str, object]] = None,
+        repo_root: Optional[Path] = None,
+    ) -> Iterator[Finding]:
+        if registry is None:
+            from repro.protocols.registry import PROTOCOLS
+
+            registry = PROTOCOLS
+        if repo_root is None:
+            repo_root = Path(__file__).resolve().parents[3]
+        for key in sorted(registry):
+            protocol = registry[key]
+            path, line, snippet = _anchor(protocol, repo_root)
+
+            def _finding(message: str) -> Finding:
+                return Finding(
+                    rule=self.id,
+                    slug=self.slug,
+                    path=path,
+                    line=line,
+                    column=0,
+                    message=message,
+                    hint=self.hint,
+                    snippet=snippet,
+                )
+
+            name = getattr(protocol, "name", None)
+            if name != key:
+                yield _finding(
+                    f"registry key {key!r} disagrees with protocol.name "
+                    f"{name!r} — get_protocol({name!r}) would miss this entry"
+                )
+
+            run = getattr(protocol, "run", None)
+            prepare = getattr(protocol, "prepare", None)
+            if run is None or prepare is None:
+                yield _finding(
+                    f"{key!r} lacks a run/prepare method — not a "
+                    "LongitudinalProtocol"
+                )
+                continue
+
+            flag_chunk = bool(getattr(protocol, "supports_chunk_size", False))
+            run_chunk = _accepts_keyword(run, "chunk_size")
+            if flag_chunk and not run_chunk:
+                yield _finding(
+                    f"{key!r} sets supports_chunk_size=True but run() does "
+                    "not accept chunk_size — chunked dispatch would raise "
+                    "TypeError"
+                )
+            elif not flag_chunk and run_chunk:
+                yield _finding(
+                    f"{key!r} run() accepts chunk_size but "
+                    "supports_chunk_size=False — the capability is hidden "
+                    "from every consumer"
+                )
+
+            flag_kernel = bool(getattr(protocol, "supports_kernel", False))
+            run_kernel = _accepts_keyword(run, "kernel")
+            prepare_kernel = _accepts_keyword(prepare, "kernel")
+            if flag_kernel and not (run_kernel and prepare_kernel):
+                missing = [
+                    method
+                    for method, ok in (("run", run_kernel), ("prepare", prepare_kernel))
+                    if not ok
+                ]
+                yield _finding(
+                    f"{key!r} sets supports_kernel=True but "
+                    f"{' and '.join(missing)}() do(es) not accept kernel — "
+                    "--kernel dispatch would raise TypeError"
+                )
+            elif not flag_kernel and (run_kernel or prepare_kernel):
+                having = [
+                    method
+                    for method, ok in (("run", run_kernel), ("prepare", prepare_kernel))
+                    if ok
+                ]
+                yield _finding(
+                    f"{key!r} {' and '.join(having)}() accept(s) kernel but "
+                    "supports_kernel=False — the capability is hidden from "
+                    "every consumer"
+                )
+
+
+register_rule(CapabilityMetadataRule())

@@ -1,0 +1,200 @@
+"""The ``repro lint`` subcommand: argument surface, report rendering, exit codes.
+
+Exit codes follow the repo's CLI convention (``repro bench``/``simulate``):
+
+* ``0`` — no findings, or every finding absorbed by the baseline;
+* ``1`` — at least one non-baseline finding (the CI-failing case);
+* ``2`` — usage error: missing path, unknown rule id/slug, bad flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence, TextIO
+
+from repro.lint.baseline import Baseline, write_baseline
+from repro.lint.engine import lint_paths, repo_root
+from repro.lint.findings import Finding
+from repro.lint.rules import normalize_selection
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+LINT_REPORT_SCHEMA = 1
+
+#: Paths linted when none are given: the library and its tests.
+_DEFAULT_PATHS = ("src/repro", "tests")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: src/repro and tests, "
+            "resolved against the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rules (id or slug; repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rules (id or slug; repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file (default: <repo>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to absorb the current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to this file (any --format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (honors --select/--ignore) and exit 0",
+    )
+
+
+def _report(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+    rules: Sequence[str],
+) -> dict[str, object]:
+    return {
+        "schema": LINT_REPORT_SCHEMA,
+        "tool": "repro lint",
+        "rules": list(rules),
+        "findings": [finding.to_dict() for finding in findings],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "stale_baseline_entries": list(stale),
+        "counts": {
+            "new": len(findings),
+            "baselined": len(baselined),
+            "stale": len(stale),
+        },
+    }
+
+
+def _print_text(
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stale: Sequence[str],
+    stream: TextIO,
+) -> None:
+    for finding in new:
+        print(finding.render(), file=stream)
+        if finding.hint:
+            print(f"    hint: {finding.hint}", file=stream)
+    if baselined:
+        print(
+            f"{len(baselined)} baselined finding(s) "
+            "(grandfathered; see lint-baseline.json):",
+            file=stream,
+        )
+        for finding in baselined:
+            print(f"  {finding.render()}", file=stream)
+    for fingerprint in stale:
+        print(
+            f"stale baseline entry {fingerprint} — the finding it excused is "
+            "gone; delete it (or run --update-baseline)",
+            file=stream,
+        )
+    if new:
+        print(
+            f"{len(new)} finding(s). repro lint enforces the determinism "
+            "contracts in README 'Static analysis'.",
+            file=stream,
+        )
+    else:
+        print("repro lint: clean", file=stream)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` from parsed arguments; return the exit code."""
+    root = repo_root()
+    try:
+        rules = normalize_selection(args.select, args.ignore)
+    except KeyError as error:
+        print(f"repro lint: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for rule_id in sorted(rules):
+            rule = rules[rule_id]
+            scope = ", ".join(rule.scope) if rule.scope else "all linted files"
+            print(f"{rule.id}  {rule.slug}")
+            print(f"    {rule.summary}")
+            print(f"    scope: {scope}")
+            print(f"    fix: {rule.hint}")
+        return 0
+
+    raw_paths = args.paths or [str(root / part) for part in _DEFAULT_PATHS]
+    try:
+        findings = lint_paths(
+            [Path(raw) for raw in raw_paths],
+            select=args.select,
+            ignore=args.ignore,
+            root=root,
+        )
+    except FileNotFoundError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    )
+    if args.update_baseline:
+        existing = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+        write_baseline(findings, baseline_path, notes=existing.notes)
+        print(
+            f"wrote {len(findings)} finding(s) to {baseline_path}",
+            file=sys.stdout,
+        )
+        return 0
+
+    if args.no_baseline:
+        new, baselined, stale = list(findings), [], []
+    else:
+        new, baselined, stale = Baseline.load(baseline_path).apply(findings)
+
+    report = _report(new, baselined, stale, sorted(rules))
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        _print_text(new, baselined, stale, sys.stdout)
+    return 1 if new else 0

@@ -1,0 +1,158 @@
+"""Single-pass lint engine: file walking, AST multiplexing, rule dispatch.
+
+The engine parses each file once and walks its AST once.  A *multiplexer*
+(dict of ``ast`` node type → interested rules, built from each rule's
+``node_types`` declaration) hands every node only to the rules that asked
+for it — adding rule 9 costs one dict entry, not another tree walk.
+
+Project rules (live introspection, :class:`~repro.lint.rules.ProjectRule`)
+run once per invocation, and only when the linted path set covers their
+anchor file — so ``repro lint src/repro/bench.py`` stays an AST-only run
+while the default repo-wide invocation always cross-checks the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.lint import checks_ast, checks_project  # noqa: F401  (register rules)
+from repro.lint.findings import Finding
+from repro.lint.rules import (
+    RULES,
+    AstRule,
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    normalize_selection,
+)
+
+__all__ = [
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "repo_root",
+]
+
+#: Directories never descended into when expanding a directory argument.
+_SKIP_DIRS = frozenset(
+    {".git", "__pycache__", ".ruff_cache", ".pytest_cache", "build", "dist"}
+)
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this package)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _build_multiplexer(
+    rules: Mapping[str, Rule], rel_path: str
+) -> dict[type, list[AstRule]]:
+    """Node-type → rules-in-scope mapping for one file."""
+    multiplexer: dict[type, list[AstRule]] = {}
+    for rule in rules.values():
+        if not isinstance(rule, AstRule) or not rule.applies_to(rel_path):
+            continue
+        for node_type in rule.node_types:
+            multiplexer.setdefault(node_type, []).append(rule)
+    return multiplexer
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    rules: Optional[Mapping[str, Rule]] = None,
+) -> list[Finding]:
+    """Lint one in-memory module (the unit every rule test drives).
+
+    ``rel_path`` is the repo-relative posix path the module pretends to live
+    at — it selects which scoped rules apply and is stamped on findings.
+    A syntax error yields a single ``PARSE`` pseudo-finding instead of
+    raising, so one broken file cannot abort a repo-wide run.
+    """
+    if rules is None:
+        rules = dict(RULES)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="PARSE",
+                slug="syntax-error",
+                path=rel_path,
+                line=error.lineno or 0,
+                column=(error.offset or 1) - 1,
+                message=f"could not parse file: {error.msg}",
+                hint="fix the syntax error so the contract rules can run",
+                snippet=(error.text or "").strip(),
+            )
+        ]
+    ctx = ModuleContext(path=rel_path, tree=tree, lines=source.splitlines())
+    multiplexer = _build_multiplexer(rules, rel_path)
+    if not multiplexer:
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        for rule in multiplexer.get(type(node), ()):
+            findings.extend(rule.check(node, ctx))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` file list.
+
+    Raises ``FileNotFoundError`` for a path that does not exist — the CLI
+    turns that into an exit-2 usage error rather than silently linting
+    nothing.
+    """
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    seen.add(candidate.resolve())
+        elif path.suffix == ".py":
+            seen.add(path.resolve())
+    return sorted(seen)
+
+
+def _rel_path(file_path: Path, root: Path) -> str:
+    try:
+        return file_path.relative_to(root).as_posix()
+    except ValueError:
+        return file_path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> list[Finding]:
+    """Lint files/directories; the programmatic face of ``repro lint``.
+
+    AST rules run over every collected file; each project rule runs once iff
+    its anchor file is among them.  Findings come back in a deterministic
+    (path, line, column, rule) order.
+    """
+    if root is None:
+        root = repo_root()
+    rules = normalize_selection(select, ignore)
+    files = collect_files(paths)
+    findings: list[Finding] = []
+    rel_paths: set[str] = set()
+    for file_path in files:
+        rel = _rel_path(file_path, root)
+        rel_paths.add(rel)
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, rel, rules))
+    for rule in rules.values():
+        if isinstance(rule, ProjectRule) and rule.anchor in rel_paths:
+            findings.extend(rule.check_project())
+    findings.sort(key=Finding.sort_key)
+    return findings

@@ -1,0 +1,59 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pins one determinism-contract violation to a source location and
+carries everything a consumer needs: the rule id, a human message, the fix
+hint, and a *fingerprint* — a content hash of ``(rule, path, source line)``
+that stays stable when unrelated edits move the line, which is what the
+baseline file matches against (line numbers churn; fingerprints don't).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One determinism-contract violation at one source location."""
+
+    rule: str  # registry id, e.g. "REP102"
+    slug: str  # human alias, e.g. "seed-arithmetic"
+    path: str  # repo-relative posix path (or the path as supplied)
+    line: int  # 1-indexed
+    column: int  # 0-indexed (ast convention)
+    message: str
+    hint: str
+    snippet: str = ""  # the stripped source line (fingerprint input)
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        digest = hashlib.sha256(
+            "\x1f".join((self.rule, self.path, self.snippet)).encode("utf-8")
+        )
+        return digest.hexdigest()[:16]
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (the ``--format json`` row)."""
+        return {
+            "rule": self.rule,
+            "slug": self.slug,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form (the ``--format text`` row)."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1} "
+            f"{self.rule} [{self.slug}] {self.message}"
+        )

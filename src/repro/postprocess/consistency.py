@@ -50,7 +50,7 @@ def _check_levels(
     values = [np.asarray(level, dtype=np.float64) for level in levels]
     spreads = [np.asarray(variance, dtype=np.float64) for variance in variances]
     width = values[0].size
-    for depth, (level, spread) in enumerate(zip(values, spreads)):
+    for depth, (level, spread) in enumerate(zip(values, spreads, strict=True)):
         expected = width >> depth
         if level.shape != (expected,) or spread.shape != (expected,):
             raise ValueError(

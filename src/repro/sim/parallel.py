@@ -216,7 +216,7 @@ def execute_shards(
     def handle(
         indices: Sequence[int], outcomes: Sequence[tuple[list[TrialMetrics], float]]
     ) -> None:
-        for index, (metrics, seconds) in zip(indices, outcomes):
+        for index, (metrics, seconds) in zip(indices, outcomes, strict=True):
             results[index] = metrics
             if on_complete is not None:
                 on_complete(index, metrics, seconds)

@@ -36,7 +36,7 @@ def format_markdown_table(columns: list[str], rows: Iterable[Mapping[str, Any]])
         for i, column in enumerate(columns)
     ]
     def line(cells: list[str]) -> str:
-        padded = [cell.ljust(width) for cell, width in zip(cells, widths)]
+        padded = [cell.ljust(width) for cell, width in zip(cells, widths, strict=True)]
         return "| " + " | ".join(padded) + " |"
 
     header = line(columns)

@@ -323,7 +323,7 @@ def _execute_planned(
         )
 
     grouped: dict[tuple, list[TrialMetrics]] = {}
-    for shard, metrics in zip(planned, metrics_by_shard):
+    for shard, metrics in zip(planned, metrics_by_shard, strict=True):
         grouped.setdefault(shard.point, []).extend(metrics)
     return grouped
 
@@ -530,8 +530,7 @@ def sweep(
             # independent of dict iteration order and of the process hash salt.
             trial_seed = np.random.SeedSequence(
                 entropy=trial_base.entropy,
-                spawn_key=trial_base.spawn_key
-                + (position, _stable_name_key(name)),
+                spawn_key=(*trial_base.spawn_key, position, _stable_name_key(name)),
             )
             point = (position, float(value), name)
             point_order.append(point)

@@ -188,4 +188,4 @@ def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
     total = sum(weights)
     if total <= 0:
         raise ValueError("weights must have positive sum")
-    return sum(v * w for v, w in zip(values, weights)) / total
+    return sum(v * w for v, w in zip(values, weights, strict=True)) / total

@@ -81,7 +81,7 @@ class Population:
         )
 
         def block_stream() -> Iterator[np.ndarray]:
-            for (start, stop), child in zip(blocks, children):
+            for (start, stop), child in zip(blocks, children, strict=True):
                 yield self.sample(stop - start, np.random.default_rng(child))
 
         yield from iter_row_groups(block_stream(), chunk_size)

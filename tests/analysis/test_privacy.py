@@ -114,7 +114,7 @@ class TestClientReportRatio:
         for v in sequence_support_patterns(length, 2):
             laws[tuple(v.tolist())] = enumerate_future_rand_report_law(law, v)
         worst = 0.0
-        for (va, table_a), (vb, table_b) in itertools.product(laws.items(), repeat=2):
+        for (_va, table_a), (_vb, table_b) in itertools.product(laws.items(), repeat=2):
             for word in table_a:
                 ratio = math.log(table_a[word] / table_b[word])
                 worst = max(worst, ratio)

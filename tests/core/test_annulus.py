@@ -44,7 +44,7 @@ class TestParameterization:
 
     def test_g_at_ub_is_2_to_minus_k(self):
         """The defining property of UB (Eq. 15 / proof of Lemma 5.2)."""
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             _, upper = law.real_bounds
             assert float(law.log_g(upper)) == pytest.approx(
                 -k * math.log(2.0), rel=1e-9
@@ -52,7 +52,7 @@ class TestParameterization:
 
     def test_ub_between_kp_and_half_k(self):
         """Eq. 21: kp <= UB <= k/2."""
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             _, upper = law.real_bounds
             kp = k * law.flip_probability
             assert kp - 1e-9 <= upper <= k / 2.0 + 1e-9
@@ -60,15 +60,15 @@ class TestParameterization:
 
 class TestIntegerAnnulus:
     def test_annulus_non_empty(self):
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             assert 0 <= law.lo <= law.hi <= k
 
     def test_complement_non_empty_for_future_rand(self):
-        for k, epsilon, law in law_grid():
+        for _k, _epsilon, law in law_grid():
             assert not law.complement_empty
 
     def test_annulus_within_real_bounds(self):
-        for k, epsilon, law in law_grid():
+        for _k, _epsilon, law in law_grid():
             lower, upper = law.real_bounds
             assert law.lo >= lower - 1e-6
             assert law.hi <= upper + 1e-6
@@ -89,7 +89,7 @@ class TestIntegerAnnulus:
 
 class TestLawNormalization:
     def test_distance_pmf_sums_to_one(self):
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             if k > 300:
                 continue
             assert law.distance_pmf().sum() == pytest.approx(1.0, abs=1e-9)
@@ -104,7 +104,7 @@ class TestLawNormalization:
             assert total == pytest.approx(0.0, abs=1e-9)
 
     def test_mass_inside_plus_outside_is_one(self):
-        for k, epsilon, law in law_grid():
+        for _k, _epsilon, law in law_grid():
             total = math.exp(law.log_mass_inside) + math.exp(law.log_mass_outside)
             assert total == pytest.approx(1.0, abs=1e-9)
 
@@ -117,7 +117,7 @@ class TestLawNormalization:
     def test_g_is_decreasing(self):
         law = AnnulusLaw.for_future_rand(20, 1.0)
         values = [float(law.log_g(i)) for i in range(21)]
-        assert all(a > b for a, b in zip(values, values[1:]))
+        assert all(a > b for a, b in zip(values, values[1:], strict=False))
 
     def test_prob_at_distance_rejects_out_of_range(self):
         law = AnnulusLaw.for_future_rand(4, 1.0)
@@ -130,23 +130,23 @@ class TestLawNormalization:
 class TestLemma52Inequalities:
     def test_privacy_ratio_at_most_epsilon(self):
         """Lemma 5.2: p'_max / p'_min <= e^eps (the theorem's guarantee)."""
-        for k, epsilon, law in law_grid():
+        for _k, epsilon, law in law_grid():
             assert law.privacy_log_ratio() <= epsilon + 1e-9
 
     def test_p_out_at_most_2_to_minus_k(self):
         """Inequality (20), upper half: P*_out <= 2^-k."""
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             assert law.log_p_out <= -k * math.log(2.0) + 1e-9
 
     def test_p_out_lower_bound(self):
         """Inequality (20), lower half: P*_out >= e^(-3 eps~ sqrt(k)) p_avg."""
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             bound = -3.0 * law.eps_tilde * math.sqrt(k) + law.log_p_avg
             assert law.log_p_out >= bound - 1e-9
 
     def test_inside_probabilities_bracketed(self):
         """Inequality (19): 2^-k <= Pr[R~(b)=s] <= e^(2 eps~ sqrt(k)) p_avg inside."""
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             upper = 2.0 * law.eps_tilde * math.sqrt(k) + law.log_p_avg
             for i in (law.lo, (law.lo + law.hi) // 2, law.hi):
                 value = law.log_prob_at_distance(i)
@@ -155,14 +155,14 @@ class TestLemma52Inequalities:
 
     def test_p_avg_at_least_2_to_minus_k(self):
         """Equation (37): p_avg = g(kp) >= 2^-k >= g(k/2)."""
-        for k, epsilon, law in law_grid():
+        for k, _epsilon, law in law_grid():
             assert law.log_p_avg >= -k * math.log(2.0) - 1e-9
             assert float(law.log_g(k / 2.0)) <= -k * math.log(2.0) + 1e-9
 
 
 class TestCGap:
     def test_positive_across_grid(self):
-        for k, epsilon, law in law_grid():
+        for _k, _epsilon, law in law_grid():
             assert law.c_gap > 0.0
 
     def test_lemma_53_lower_bound_constant(self):
@@ -187,11 +187,11 @@ class TestCGap:
 
     def test_monotone_decreasing_in_k(self):
         gaps = [AnnulusLaw.for_future_rand(k, 1.0).c_gap for k in (4, 16, 64, 256)]
-        assert all(a > b for a, b in zip(gaps, gaps[1:]))
+        assert all(a > b for a, b in zip(gaps, gaps[1:], strict=False))
 
     def test_increasing_in_epsilon(self):
         gaps = [AnnulusLaw.for_future_rand(16, eps).c_gap for eps in (0.1, 0.5, 1.0)]
-        assert all(a < b for a, b in zip(gaps, gaps[1:]))
+        assert all(a < b for a, b in zip(gaps, gaps[1:], strict=False))
 
     @given(
         st.integers(min_value=1, max_value=200),
@@ -219,7 +219,7 @@ class TestOutsideDistribution:
         law = AnnulusLaw.for_future_rand(8, 1.0)
         distances, probabilities = law.outside_distance_distribution
         samples = law.sample_outside_distances(20_000, rng)
-        for distance, probability in zip(distances, probabilities):
+        for distance, probability in zip(distances, probabilities, strict=True):
             if probability < 1e-4:
                 continue
             empirical = float((samples == distance).mean())

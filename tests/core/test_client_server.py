@@ -216,7 +216,7 @@ class TestServer:
         batched.advance_to(4)
         batched.receive_batch(2, 1, bits)
         individual = Server(8, c_gap=0.5)
-        for user, bit in enumerate(bits):
+        for user, _bit in enumerate(bits):
             individual.register(user, 2)
         individual.advance_to(4)
         for user, bit in enumerate(bits):

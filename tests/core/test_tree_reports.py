@@ -85,7 +85,7 @@ class TestOrderWeights:
                 small_states,
                 small_params,
                 rng,
-                order_weights=[0.0] + [1.0] * (small_params.num_orders - 1),
+                order_weights=[0.0, *[1.0] * (small_params.num_orders - 1)],
             )
 
     def test_sampling_follows_weights(self, small_params, small_states):

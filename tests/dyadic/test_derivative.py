@@ -85,7 +85,7 @@ class TestChangeCount:
     @given(boolean_sequences)
     def test_count_matches_adjacent_differences(self, states):
         expected = sum(
-            1 for a, b in zip([0] + states[:-1], states) if a != b
+            1 for a, b in zip([0, *states[:-1]], states, strict=True) if a != b
         )
         assert change_count(states) == expected
 

@@ -79,7 +79,7 @@ class TestReferenceBitIdentity:
         named = collect_tree_reports(
             states, PARAMS, np.random.default_rng(3), kernel="reference"
         )
-        for left, right in zip(default.node_sums, named.node_sums):
+        for left, right in zip(default.node_sums, named.node_sums, strict=True):
             np.testing.assert_array_equal(left, right)
         np.testing.assert_array_equal(default.orders, named.orders)
 

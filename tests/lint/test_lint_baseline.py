@@ -1,0 +1,93 @@
+"""Baseline add/expire behavior and file round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, Finding, write_baseline
+
+
+def make_finding(rule="REP101", path="src/repro/sim/x.py", line=3, snippet="bad()"):
+    return Finding(
+        rule=rule,
+        slug="fixture",
+        path=path,
+        line=line,
+        column=0,
+        message="fixture finding",
+        hint="fix it",
+        snippet=snippet,
+    )
+
+
+class TestApply:
+    def test_empty_baseline_reports_everything_new(self):
+        finding = make_finding()
+        new, baselined, stale = Baseline().apply([finding])
+        assert (new, baselined, stale) == ([finding], [], [])
+
+    def test_matching_finding_is_absorbed(self):
+        finding = make_finding()
+        baseline = Baseline()
+        baseline.counts[finding.fingerprint()] = 1
+        new, baselined, stale = baseline.apply([finding])
+        assert new == [] and baselined == [finding] and stale == []
+
+    def test_fingerprint_survives_line_moves(self):
+        moved = make_finding(line=99)
+        baseline = Baseline()
+        baseline.counts[make_finding(line=3).fingerprint()] = 1
+        new, baselined, _ = baseline.apply([moved])
+        assert new == [] and baselined == [moved]
+
+    def test_counts_budget_duplicates(self):
+        finding = make_finding()
+        baseline = Baseline()
+        baseline.counts[finding.fingerprint()] = 1
+        new, baselined, _ = baseline.apply([finding, finding])
+        assert len(baselined) == 1 and len(new) == 1
+
+    def test_fixed_finding_goes_stale(self):
+        gone = make_finding(snippet="already_fixed()")
+        baseline = Baseline()
+        baseline.counts[gone.fingerprint()] = 1
+        new, baselined, stale = baseline.apply([])
+        assert new == [] and baselined == []
+        assert stale == [gone.fingerprint()]
+
+
+class TestFile:
+    def test_round_trip(self, tmp_path):
+        findings = [make_finding(), make_finding(path="src/repro/sim/y.py")]
+        path = write_baseline(findings, tmp_path / "lint-baseline.json")
+        loaded = Baseline.load(path)
+        new, baselined, stale = loaded.apply(findings)
+        assert new == [] and stale == [] and len(baselined) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.counts == {}
+
+    def test_duplicate_findings_aggregate_counts(self, tmp_path):
+        finding = make_finding()
+        path = write_baseline([finding, finding], tmp_path / "b.json")
+        payload = json.loads(path.read_text())
+        (entry,) = payload["findings"]
+        assert entry["count"] == 2
+        assert entry["rule"] == finding.rule
+
+    def test_notes_are_preserved_through_rewrite(self, tmp_path):
+        finding = make_finding()
+        note = {finding.fingerprint(): "pinned output; fix at next regen"}
+        path = write_baseline([finding], tmp_path / "b.json", notes=note)
+        payload = json.loads(path.read_text())
+        assert payload["findings"][0]["note"] == note[finding.fingerprint()]
+        assert Baseline.load(path).notes == note
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(path)

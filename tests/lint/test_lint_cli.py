@@ -1,0 +1,124 @@
+"""The ``repro lint`` CLI surface: exit codes, formats, baselines, errors."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+from repro.lint.cli import LINT_REPORT_SCHEMA
+
+BAD_SOURCE = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def write_bad_module(tmp_path):
+    # The engine falls back to absolute paths for files outside the repo, so
+    # scoped rules would skip them; REP101's scope is matched via an
+    # in-repo-looking layout only when linting repo files.  Universal rules
+    # (REP103) apply anywhere, so fixtures use those.
+    module = tmp_path / "fixture.py"
+    module.write_text("key = hash(('name', 3))\n")
+    return module
+
+
+class TestExitCodes:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        module = tmp_path / "ok.py"
+        module.write_text("x = 1\n")
+        assert main(["lint", str(module)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        module = write_bad_module(tmp_path)
+        assert main(["lint", str(module)]) == 1
+        out = capsys.readouterr().out
+        assert "REP103" in out and "hint:" in out
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["lint", "definitely/not/a/path.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_2(self, tmp_path, capsys):
+        module = write_bad_module(tmp_path)
+        assert main(["lint", str(module), "--select", "REP999"]) == 2
+        error = capsys.readouterr().err
+        assert "unknown rule" in error and "REP101" in error
+
+    def test_repo_default_paths_exit_0_modulo_baseline(self, capsys):
+        # The shipped tree must be lint-clean: same invocation CI runs.
+        assert main(["lint"]) == 0
+
+
+class TestSelection:
+    def test_ignore_suppresses_the_rule(self, tmp_path):
+        module = write_bad_module(tmp_path)
+        assert main(["lint", str(module), "--ignore", "REP103"]) == 0
+
+    def test_select_by_slug(self, tmp_path):
+        module = write_bad_module(tmp_path)
+        assert main(["lint", str(module), "--select", "hash-seed-taint"]) == 1
+        assert main(["lint", str(module), "--select", "set-order"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP101", "REP107", "REP108"):
+            assert rule_id in out
+        assert "fix:" in out
+
+
+class TestJsonOutput:
+    def test_json_schema(self, tmp_path, capsys):
+        module = write_bad_module(tmp_path)
+        assert main(["lint", str(module), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == LINT_REPORT_SCHEMA
+        assert payload["tool"] == "repro lint"
+        assert payload["counts"]["new"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "rule", "slug", "path", "line", "column",
+            "message", "hint", "fingerprint",
+        }
+        assert finding["rule"] == "REP103"
+
+    def test_out_writes_report_file(self, tmp_path, capsys):
+        module = write_bad_module(tmp_path)
+        report = tmp_path / "sub" / "lint-report.json"
+        assert main(["lint", str(module), "--out", str(report)]) == 1
+        payload = json.loads(report.read_text())
+        assert payload["counts"]["new"] == 1
+
+
+class TestBaselineFlow:
+    def test_update_baseline_then_clean_then_stale(self, tmp_path, capsys):
+        module = write_bad_module(tmp_path)
+        baseline = tmp_path / "baseline.json"
+
+        assert main(
+            ["lint", str(module), "--update-baseline", "--baseline", str(baseline)]
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        # Absorbed: exit 0, but still visible in the report.
+        assert main(["lint", str(module), "--baseline", str(baseline)]) == 0
+        assert "baselined finding" in capsys.readouterr().out
+
+        # --no-baseline brings the finding back.
+        assert main(
+            ["lint", str(module), "--baseline", str(baseline), "--no-baseline"]
+        ) == 1
+        capsys.readouterr()
+
+        # Fix the violation: the entry goes stale (visible, non-blocking).
+        module.write_text("x = 1\n")
+        assert main(["lint", str(module), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_lint_subcommand_registered(self):
+        args = build_parser().parse_args(["lint", "--format", "json"])
+        assert args.command == "lint"
+        assert args.format == "json"
+        assert not args.paths

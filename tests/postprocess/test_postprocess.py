@@ -38,7 +38,7 @@ class TestWlsTreeConsistency:
         levels = [level.astype(float) for level in _tree_levels(states)]
         variances = [np.ones_like(level) for level in levels]
         adjusted = wls_tree_consistency(levels, variances)
-        for level, result in zip(levels, adjusted):
+        for level, result in zip(levels, adjusted, strict=True):
             assert np.allclose(level, result)
 
     def test_output_is_consistent(self, rng):

@@ -8,6 +8,8 @@ a recall drop at these seeds is a decoding regression, not noise.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -38,7 +40,7 @@ def _recall_and_decoded(
 class TestFastConfig:
     """m=64 seconds-scale config: every seed decodes both planted heavies."""
 
-    HEAVIES = {7: 0.45, 21: 0.30}
+    HEAVIES: ClassVar[dict[int, float]] = {7: 0.45, 21: 0.30}
     PARAMS = ProtocolParams(n=60_000, d=2, k=1, epsilon=8.0)
 
     @pytest.mark.parametrize("seed", [10, 11, 12])
@@ -65,7 +67,7 @@ class TestFastConfig:
 class TestHugeDomainConfig:
     """m=2^18: the huge-domain acceptance point, pinned across seeds."""
 
-    HEAVIES = {123456: 0.50, 7890: 0.30}
+    HEAVIES: ClassVar[dict[int, float]] = {123456: 0.50, 7890: 0.30}
     PARAMS = ProtocolParams(n=500_000, d=4, k=1, epsilon=8.0)
     M = 1 << 18
 

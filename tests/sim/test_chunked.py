@@ -283,7 +283,7 @@ class TestSeedContractRobustness:
             states, _PARAMS, np.random.SeedSequence(21), chunk_size=64
         )
         np.testing.assert_array_equal(used.orders, fresh.orders)
-        for sums_a, sums_b in zip(used.node_sums, fresh.node_sums):
+        for sums_a, sums_b in zip(used.node_sums, fresh.node_sums, strict=True):
             np.testing.assert_array_equal(sums_a, sums_b)
         # And the advertised reproduce-any-block helper matches the run.
         spent = np.random.SeedSequence(21)

@@ -87,7 +87,7 @@ def test_chunk_size_is_invariant_across_blocks(
     second = collect_tree_reports_chunked(
         states, params, seed, chunk_size=chunk_b, block_rows=block_rows
     )
-    for sums_a, sums_b in zip(first.node_sums, second.node_sums):
+    for sums_a, sums_b in zip(first.node_sums, second.node_sums, strict=True):
         np.testing.assert_array_equal(sums_a, sums_b)
     np.testing.assert_array_equal(first.orders, second.orders)
     np.testing.assert_array_equal(first.group_sizes, second.group_sizes)
@@ -125,7 +125,7 @@ def test_order_weight_ablation_matches_monolithic(n, seed, chunk_size):
         monolithic.order_probabilities, chunked.order_probabilities
     )
     np.testing.assert_array_equal(monolithic.node_scales, chunked.node_scales)
-    for sums_a, sums_b in zip(monolithic.node_sums, chunked.node_sums):
+    for sums_a, sums_b in zip(monolithic.node_sums, chunked.node_sums, strict=True):
         np.testing.assert_array_equal(sums_a, sums_b)
 
 

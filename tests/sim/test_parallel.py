@@ -83,7 +83,7 @@ def _pre_pr_sweep(runners, base_params, parameter, values, *, trials, seed):
         for name, runner in runners.items():
             trial_seed = np.random.SeedSequence(
                 entropy=trial_base.entropy,
-                spawn_key=trial_base.spawn_key + (position, _stable_name_key(name)),
+                spawn_key=(*trial_base.spawn_key, position, _stable_name_key(name)),
             )
             statistics = _pre_pr_run_trials(
                 runner, point_states, params, trials=trials, seed=trial_seed

@@ -9,8 +9,10 @@ import pytest
 
 from repro.bench import (
     BENCH_SCHEMA_VERSION,
+    BENCH_SEED_SCHEME,
     HEADLINE_POINT,
     bench_grid as _bench_grid,  # aliased: pytest.ini collects bench_* names
+    bench_rng as _bench_rng,
     format_bench_table,
     format_protocol_bench_table,
     headline_speedup,
@@ -73,6 +75,50 @@ class TestBenchEngine:
         payload = run_kernel_bench(scale="smoke", seed=2)
         text = format_bench_table(payload)
         assert "reference" in text and "fast" in text and "speedup" in text
+
+
+class TestBenchSeedTree:
+    """The v2 seed scheme: keyed SeedSequence leaves, no offset arithmetic."""
+
+    def test_leaves_are_pinned(self):
+        # Regression pins for the schema-2 seed derivation: if these move,
+        # every archived BENCH_*.json seed becomes unreproducible — bump
+        # BENCH_SCHEMA_VERSION and say so in the provenance block.
+        assert list(_bench_rng(0, 0, 0).integers(0, 2**31, 4)) == [
+            36989502, 1213611225, 1953115865, 2008827365,
+        ]
+        assert list(_bench_rng(0, 0, 1).integers(0, 2**31, 4)) == [
+            1281360082, 783408694, 811107819, 2019249523,
+        ]
+        assert list(_bench_rng(7, 1, 2).integers(0, 2**31, 4)) == [
+            1283693412, 1028419496, 716457693, 303220593,
+        ]
+
+    def test_leaves_are_reconstructible_and_distinct(self):
+        a = _bench_rng(5, 2, 3).integers(0, 2**63, 8)
+        b = _bench_rng(5, 2, 3).integers(0, 2**63, 8)
+        assert (a == b).all(), "the same leaf must always yield the same stream"
+        for other in [(5, 2, 4), (5, 3, 3), (6, 2, 3)]:
+            c = _bench_rng(*other).integers(0, 2**63, 8)
+            assert not (a == c).all(), f"leaf {other} must differ from (5, 2, 3)"
+
+    def test_payloads_record_the_scheme(self):
+        assert BENCH_SCHEMA_VERSION == 2
+        kernel_payload = run_kernel_bench(scale="smoke", seed=0)
+        assert kernel_payload["seed_scheme"] == BENCH_SEED_SCHEME
+        protocol_payload = run_protocol_bench(scale="smoke", seed=0)
+        assert protocol_payload["seed_scheme"] == BENCH_SEED_SCHEME
+
+    def test_protocol_bench_is_deterministic(self):
+        def errors(payload):
+            return [
+                (row["protocol"], row["max_abs_error"], row["mean_abs_error"])
+                for row in payload["results"]
+            ]
+
+        first = run_protocol_bench(scale="smoke", seed=11)
+        second = run_protocol_bench(scale="smoke", seed=11)
+        assert errors(first) == errors(second)
 
 
 class TestProtocolBench:

@@ -99,7 +99,7 @@ def test_multi_block_stream_is_blockwise(kind):
     expected = np.concatenate(
         [
             population.sample(rows, np.random.default_rng(child))
-            for rows, child in zip((10, 10, 5), children)
+            for rows, child in zip((10, 10, 5), children, strict=True)
         ]
     )
     np.testing.assert_array_equal(stream, expected)
