@@ -16,6 +16,8 @@ Usage::
     repro bench --scale quick       # emit BENCH_kernels.json (perf trajectory)
     repro results show results/     # inspect persisted sweep artifacts
     repro results merge merged.json results/tables/*.json
+    repro fuzz --protocol future_rand --budget 48   # evolve worst-case workloads
+    repro fuzz --replay --corpus results/fuzz       # re-verify the pinned corpus
 """
 
 from __future__ import annotations
@@ -305,6 +307,53 @@ def build_parser() -> argparse.ArgumentParser:
     merge_parser.add_argument(
         "inputs", nargs="+", help="table JSON files (or store table paths) to merge"
     )
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="evolve adversarial workloads against a protocol's conformance "
+        "bound and pin the worst survivors as replayable corpus entries",
+    )
+    from repro.fuzz.engine import FUZZ_TARGETS
+
+    fuzz_parser.add_argument(
+        "--protocol", choices=FUZZ_TARGETS, default="future_rand",
+        help="Boolean-domain registry protocol to fuzz (default: future_rand)",
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=_positive_int, default=48,
+        help="total protocol evaluations to spend (duplicate genomes are "
+        "cached and cost nothing)",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for genome evaluation (0 = one per available "
+        "CPU); the corpus is byte-identical for any count",
+    )
+    fuzz_parser.add_argument("--trials", type=_positive_int, default=3)
+    fuzz_parser.add_argument(
+        "--population", type=_positive_int, default=8,
+        help="genomes per generation",
+    )
+    fuzz_parser.add_argument(
+        "--survivors", type=_positive_int, default=3,
+        help="top genomes written to the corpus",
+    )
+    fuzz_parser.add_argument("--n", type=int, default=4000)
+    fuzz_parser.add_argument("--d", type=int, default=64)
+    fuzz_parser.add_argument("--k", type=int, default=4)
+    fuzz_parser.add_argument("--epsilon", type=float, default=1.0)
+    fuzz_parser.add_argument(
+        "--corpus", default="results/fuzz",
+        help="corpus directory (default: results/fuzz)",
+    )
+    fuzz_parser.add_argument(
+        "--replay", action="store_true",
+        help="skip the search: reload every corpus entry, replay it, and "
+        "fail (exit 1) on bit-drift with its recorded kernel or a bound "
+        "violation",
+    )
+    _add_kernel_argument(fuzz_parser)
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -777,6 +826,129 @@ def _command_bench(
     return 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from repro.core.params import ProtocolParams
+    from repro.fuzz.corpus import FuzzCorpus, entry_from_record, replay_entry
+    from repro.fuzz.engine import run_fuzz
+    from repro.sim.parallel import default_workers
+    from repro.sim.store import ArtifactCorruptedError
+
+    corpus = FuzzCorpus(args.corpus)
+
+    if args.replay:
+        try:
+            entries = corpus.load_all()
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except ArtifactCorruptedError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if not entries:
+            print(
+                f"error: fuzz corpus {corpus.root} contains no entries; "
+                "run 'repro fuzz' (without --replay) to populate it",
+                file=sys.stderr,
+            )
+            return 1
+        failures = 0
+        for entry in entries:
+            supports_kernel = PROTOCOLS[entry.protocol].supports_kernel
+            if args.kernel is None or not supports_kernel:
+                # Recorded kernel: the replay must be bit-identical.  Entries
+                # for kernel-less protocols also land here under --kernel
+                # (there is no backend to swap).
+                metrics = replay_entry(entry)
+                drifted = (
+                    tuple(tuple(trial) for trial in metrics) != entry.metrics
+                )
+            else:
+                # Kernel override: a different draw, but the bound must hold.
+                metrics = replay_entry(entry, kernel=args.kernel)
+                drifted = False
+            observed = max(trial[0] for trial in metrics)
+            violated = observed > entry.radius
+            status = "ok"
+            if drifted:
+                status = "DRIFT (metrics differ from the pinned replay)"
+                failures += 1
+            if violated:
+                status = (
+                    f"BOUND VIOLATION (observed {observed:,.1f} > radius "
+                    f"{entry.radius:,.1f})"
+                )
+                failures += 1
+            print(
+                f"{entry.scenario_name}  {entry.protocol:12s} "
+                f"fitness={entry.fitness:.3f}  {status}"
+            )
+        if failures:
+            print(
+                f"error: {failures} corpus entr{'y' if failures == 1 else 'ies'} "
+                "failed replay",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"(replayed {len(entries)} corpus entries from {corpus.root})")
+        return 0
+
+    workers = args.workers if args.workers > 0 else default_workers()
+    params = ProtocolParams(n=args.n, d=args.d, k=args.k, epsilon=args.epsilon)
+
+    def progress(generation: int, evaluations: int, best: float) -> None:
+        print(
+            f"  generation {generation}: {evaluations}/{args.budget} "
+            f"evaluations, best fitness {best:.3f}"
+        )
+
+    print(
+        f"fuzzing {args.protocol} (n={args.n:,} d={args.d} k={args.k} "
+        f"epsilon={args.epsilon}, budget={args.budget}, seed={args.seed})"
+    )
+    outcome = run_fuzz(
+        args.protocol,
+        params,
+        budget=args.budget,
+        seed=args.seed,
+        workers=workers,
+        trials=args.trials,
+        population_size=args.population,
+        kernel=args.kernel,
+        on_generation=progress,
+    )
+    survivors = outcome.ranked[: args.survivors]
+    for record in survivors:
+        entry = entry_from_record(outcome, record)
+        path = corpus.write(entry)
+        print(
+            f"  pinned {entry.scenario_name}: {record.genome.generator} "
+            f"population, fitness {record.fitness:.3f} "
+            f"(observed {record.observed_max_abs:,.1f} / radius "
+            f"{record.radius:,.1f}) -> {path}"
+        )
+    violations = [
+        record
+        for record in outcome.records
+        if record.observed_max_abs > record.radius
+    ]
+    if violations:
+        worst = max(violations, key=lambda record: record.fitness)
+        print(
+            f"error: {len(violations)} genome(s) exceeded the analytical "
+            f"radius (worst: {worst.genome.generator} population, observed "
+            f"{worst.observed_max_abs:,.1f} > radius {worst.radius:,.1f}) — "
+            "a conformance bug, not a fuzzer success; survivors were still "
+            "pinned for reproduction",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"({outcome.evaluations} evaluations, {len(survivors)} survivors "
+        f"pinned under {corpus.root})"
+    )
+    return 0
+
+
 def _command_results_show(path_text: str) -> int:
     from repro.sim.results import ResultTable
     from repro.sim.store import ResultStore
@@ -915,6 +1087,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.chunk_size,
             args.kernel,
         )
+    if args.command == "fuzz":
+        return _command_fuzz(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

@@ -1,0 +1,65 @@
+"""Evolutionary adversarial-workload fuzzer with a pinned regression corpus.
+
+The fuzzer closes the loop between the workload generators and the
+statistical conformance bounds: it *searches* for populations (and
+unreliable-delivery fault schedules) that push a protocol's observed
+max-error as close as possible to the analytical radius the test suite
+enforces, then pins the worst survivors as content-addressed corpus entries
+that replay as tier-1 conformance regressions forever after.
+
+* :mod:`repro.fuzz.genome` — the population recipe a genome encodes, and
+  the deterministic mutation/crossover operators over it.
+* :mod:`repro.fuzz.engine` — the evolutionary loop (:func:`run_fuzz`):
+  ``SeedSequence`` spawn-tree seeding end to end, evaluation through
+  :func:`repro.sim.parallel.execute_shards` (bit-identical at any worker
+  count), fitness = observed max-error / fault-adjusted analytical radius.
+* :mod:`repro.fuzz.corpus` — the ``results/fuzz/`` artifact store,
+  bit-exact replay (:func:`replay_entry`), and
+  :func:`register_corpus`, which installs every shipped entry as a pinned
+  named scenario in :data:`repro.workloads.SCENARIOS`.
+
+CLI: ``repro fuzz --protocol future_rand --budget 48 --seed 0`` evolves and
+persists survivors; ``repro fuzz --replay`` re-verifies an existing corpus.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    FuzzCorpus,
+    entry_from_record,
+    register_corpus,
+    replay_entry,
+)
+from repro.fuzz.engine import (
+    FUZZ_TARGETS,
+    EvaluationRecord,
+    FuzzOutcome,
+    run_fuzz,
+)
+from repro.fuzz.genome import (
+    GENERATORS,
+    FuzzGenome,
+    build_population,
+    crossover,
+    generator_choices,
+    mutate,
+    random_genome,
+)
+
+__all__ = [
+    "FUZZ_TARGETS",
+    "GENERATORS",
+    "CorpusEntry",
+    "EvaluationRecord",
+    "FuzzCorpus",
+    "FuzzGenome",
+    "FuzzOutcome",
+    "build_population",
+    "crossover",
+    "entry_from_record",
+    "generator_choices",
+    "mutate",
+    "random_genome",
+    "register_corpus",
+    "replay_entry",
+    "run_fuzz",
+]

@@ -1,0 +1,385 @@
+"""Content-addressed corpus of fuzzer-discovered worst-case workloads.
+
+Survivors of a :func:`repro.fuzz.engine.run_fuzz` run are pinned here as JSON
+artifacts under ``results/fuzz/`` (same conventions as
+:mod:`repro.sim.store`: canonical-JSON content addressing, embedded
+checksums, atomic writes, corruption raises — never silently recomputes).
+Each :class:`CorpusEntry` records everything replay needs — the genome, the
+problem parameters, the exact seed-tree coordinates of its evaluation cell,
+and the metrics observed when it was discovered — so
+:func:`replay_entry` reproduces the discovery run *bit for bit* with the
+recorded kernel, and within the analytical radius with any other kernel.
+
+Entries deliberately carry no timestamps or durations in their meta (only
+the git SHA): the corpus a fuzz run writes must be byte-identical across
+reruns and worker counts, which the determinism tests enforce at the file
+level.
+
+:func:`register_corpus` turns every entry into a pinned, named
+:class:`~repro.workloads.scenarios.Scenario` (``fuzz_<digest prefix>``) in
+the :data:`~repro.workloads.scenarios.SCENARIOS` registry, which is how the
+statistical conformance suite replays the corpus as tier-1 regressions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.params import ProtocolParams
+from repro.fuzz.engine import (
+    EvaluationRecord,
+    FuzzOutcome,
+    build_runner,
+    evaluation_seed_nodes,
+)
+from repro.fuzz.genome import FuzzGenome, build_population
+from repro.sim.parallel import (
+    compute_trial_metrics,
+    metrics_from_columns,
+    metrics_to_columns,
+)
+from repro.sim.store import ArtifactCorruptedError, _git_sha, canonical_json
+from repro.workloads.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "CorpusEntry",
+    "FuzzCorpus",
+    "entry_from_record",
+    "register_corpus",
+    "replay_entry",
+]
+
+#: Bump when the entry layout changes; participates in every entry key, so
+#: entries from an incompatible layout are rejected loudly, never misread.
+CORPUS_SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "replay with the recorded kernel" from an
+#: explicit override (including an explicit ``None`` = reference).
+_RECORDED = object()
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One pinned worst-case workload plus its discovery-time measurements.
+
+    ``(protocol, genome, params, seed, generation, slot, trials, kernel)``
+    determine the replay computation and form the content-addressed key;
+    the observed metrics are the regression baseline a replay must match.
+    """
+
+    protocol: str
+    genome: FuzzGenome
+    params: ProtocolParams
+    seed: int
+    generation: int
+    slot: int
+    trials: int
+    kernel: Optional[str]
+    fitness: float
+    observed_max_abs: float
+    metrics: tuple[tuple[float, float, float], ...]
+    radius: float
+    base_radius: float
+    per_trial_failure: float
+
+    def key_payload(self) -> dict:
+        """The deterministic-computation view the entry digest hashes."""
+        return {
+            "schema": CORPUS_SCHEMA_VERSION,
+            "protocol": self.protocol,
+            "genome": self.genome.to_payload(),
+            "params": {
+                "n": self.params.n,
+                "d": self.params.d,
+                "k": self.params.k,
+                "epsilon": self.params.epsilon,
+                "beta": self.params.beta,
+            },
+            "seed": self.seed,
+            "generation": self.generation,
+            "slot": self.slot,
+            "trials": self.trials,
+            "kernel": self.kernel,
+        }
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the canonical key payload — filename and identity."""
+        return hashlib.sha256(
+            canonical_json(self.key_payload()).encode()
+        ).hexdigest()
+
+    @property
+    def scenario_name(self) -> str:
+        """The pinned-scenario registry name (``fuzz_`` + digest prefix)."""
+        return f"fuzz_{self.digest[:12]}"
+
+    def build_states(self) -> np.ndarray:
+        """Rebuild the exact workload matrix this entry was discovered on."""
+        workload_node, _ = evaluation_seed_nodes(
+            self.seed, self.generation, self.slot, self.trials
+        )
+        population = build_population(self.genome, self.params.d, self.params.k)
+        return population.sample(
+            self.params.n, np.random.default_rng(workload_node)
+        )
+
+
+def entry_from_record(outcome: FuzzOutcome, record: EvaluationRecord) -> CorpusEntry:
+    """Package one evaluation of a fuzz run as a corpus entry."""
+    return CorpusEntry(
+        protocol=outcome.target,
+        genome=record.genome,
+        params=outcome.params,
+        seed=outcome.seed,
+        generation=record.generation,
+        slot=record.slot,
+        trials=outcome.trials,
+        kernel=outcome.kernel,
+        fitness=record.fitness,
+        observed_max_abs=record.observed_max_abs,
+        metrics=record.metrics,
+        radius=record.radius,
+        base_radius=record.base_radius,
+        per_trial_failure=record.per_trial_failure,
+    )
+
+
+def replay_entry(
+    entry: CorpusEntry, *, kernel: object = _RECORDED
+) -> list[tuple[float, float, float]]:
+    """Re-run an entry's evaluation cell; returns the per-trial metrics.
+
+    With the default (recorded) kernel the result is bit-identical to
+    ``entry.metrics``; with another kernel the draw differs but must stay
+    within ``entry.radius`` — both properties are what the conformance
+    suite asserts over the shipped corpus.
+    """
+    resolved = entry.kernel if kernel is _RECORDED else kernel
+    _, trial_seeds = evaluation_seed_nodes(
+        entry.seed, entry.generation, entry.slot, entry.trials
+    )
+    runner = build_runner(entry.protocol, entry.genome, resolved)
+    return compute_trial_metrics(
+        runner, entry.build_states(), entry.params, trial_seeds
+    )
+
+
+class FuzzCorpus:
+    """Directory of corpus entries (``<root>/<digest>.json``).
+
+    >>> import tempfile
+    >>> corpus = FuzzCorpus(tempfile.mkdtemp())
+    >>> corpus.load_all()
+    []
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def entry_path(self, entry: CorpusEntry) -> Path:
+        """Filesystem location of ``entry``'s artifact."""
+        return self.root / f"{entry.digest}.json"
+
+    def write(self, entry: CorpusEntry) -> Path:
+        """Persist ``entry`` atomically; returns the artifact path.
+
+        The artifact embeds a checksum of its canonical body and records
+        only the git SHA as provenance — no wall-clock — so the file bytes
+        are a pure function of the entry (worker-count independence is
+        tested at this level).
+        """
+        body = {
+            "kind": "fuzz-corpus-entry",
+            "key": entry.key_payload(),
+            "result": {
+                "fitness": entry.fitness,
+                "observed_max_abs": entry.observed_max_abs,
+                "metrics": metrics_to_columns(entry.metrics),
+                "radius": entry.radius,
+                "base_radius": entry.base_radius,
+                "per_trial_failure": entry.per_trial_failure,
+            },
+            "meta": {"git_sha": _git_sha()},
+        }
+        artifact = dict(body)
+        artifact["checksum"] = hashlib.sha256(
+            canonical_json(body).encode()
+        ).hexdigest()
+        path = self.entry_path(entry)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path
+
+    def load_all(self) -> list[CorpusEntry]:
+        """Load and verify every entry, sorted by digest.
+
+        Raises ``FileNotFoundError`` if the corpus directory does not exist
+        and :class:`~repro.sim.store.ArtifactCorruptedError` for any file
+        that fails parsing, checksum, or filename/digest agreement —
+        corruption is surfaced, never skipped.
+        """
+        if not self.root.is_dir():
+            raise FileNotFoundError(
+                f"fuzz corpus directory {self.root} does not exist; run "
+                f"'repro fuzz' to create it"
+            )
+        entries = []
+        for path in sorted(self.root.glob("*.json")):
+            entries.append(self._load_entry(path))
+        return entries
+
+    def _load_entry(self, path: Path) -> CorpusEntry:
+        try:
+            artifact = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise ArtifactCorruptedError(
+                f"corpus entry {path} is not readable JSON ({error}); "
+                "delete it or re-run the fuzzer"
+            ) from error
+        if not isinstance(artifact, dict):
+            raise ArtifactCorruptedError(
+                f"corpus entry {path} is not a JSON object; delete it or "
+                "re-run the fuzzer"
+            )
+        checksum = artifact.get("checksum")
+        body = {k: v for k, v in artifact.items() if k != "checksum"}
+        missing = {"kind", "key", "result", "meta"} - set(body)
+        if missing or checksum is None:
+            raise ArtifactCorruptedError(
+                f"corpus entry {path} is missing fields "
+                f"{sorted(missing) + ([] if checksum else ['checksum'])}; "
+                "delete it or re-run the fuzzer"
+            )
+        if (
+            hashlib.sha256(canonical_json(body).encode()).hexdigest()
+            != checksum
+        ):
+            raise ArtifactCorruptedError(
+                f"corpus entry {path} fails its checksum (corrupted or "
+                "hand-edited); delete it or re-run the fuzzer"
+            )
+        try:
+            entry = self._entry_from_body(body)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ArtifactCorruptedError(
+                f"corpus entry {path} has a malformed body ({error}); "
+                "delete it or re-run the fuzzer"
+            ) from error
+        if path.name != f"{entry.digest}.json":
+            raise ArtifactCorruptedError(
+                f"corpus entry {path} holds a different key than its "
+                "filename implies; delete it or re-run the fuzzer"
+            )
+        return entry
+
+    @staticmethod
+    def _entry_from_body(body: dict) -> CorpusEntry:
+        key = body["key"]
+        if key.get("schema") != CORPUS_SCHEMA_VERSION:
+            raise ValueError(
+                f"corpus schema {key.get('schema')!r} is not the supported "
+                f"{CORPUS_SCHEMA_VERSION}"
+            )
+        params_payload = key["params"]
+        params = ProtocolParams(
+            n=int(params_payload["n"]),
+            d=int(params_payload["d"]),
+            k=int(params_payload["k"]),
+            epsilon=float(params_payload["epsilon"]),
+            beta=float(params_payload["beta"]),
+        )
+        result = body["result"]
+        kernel = key["kernel"]
+        return CorpusEntry(
+            protocol=str(key["protocol"]),
+            genome=FuzzGenome.from_payload(key["genome"]),
+            params=params,
+            seed=int(key["seed"]),
+            generation=int(key["generation"]),
+            slot=int(key["slot"]),
+            trials=int(key["trials"]),
+            kernel=None if kernel is None else str(kernel),
+            fitness=float(result["fitness"]),
+            observed_max_abs=float(result["observed_max_abs"]),
+            metrics=tuple(metrics_from_columns(result["metrics"])),
+            radius=float(result["radius"]),
+            base_radius=float(result["base_radius"]),
+            per_trial_failure=float(result["per_trial_failure"]),
+        )
+
+
+def _pinned_scenario_factory(entry: CorpusEntry):
+    """A ``SCENARIOS``-shaped factory replaying ``entry``'s exact workload.
+
+    The shared factory signature accepts ``(n, d, k, epsilon, rng)``, but a
+    pinned regression is not parameterizable: overrides that disagree with
+    the pinned values raise instead of silently fuzzing something else, and
+    ``rng`` is ignored (the workload randomness is part of the pin).
+    """
+
+    def factory(
+        n: Optional[int] = None,
+        d: Optional[int] = None,
+        k: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Scenario:
+        pinned = entry.params
+        for name, override, value in (
+            ("n", n, pinned.n),
+            ("d", d, pinned.d),
+            ("k", k, pinned.k),
+            ("epsilon", epsilon, pinned.epsilon),
+        ):
+            if override is not None and override != value:
+                raise ValueError(
+                    f"scenario {entry.scenario_name!r} is a pinned fuzz "
+                    f"regression; {name} is fixed at {value}, got {override}"
+                )
+        return Scenario(
+            name=entry.scenario_name,
+            description=(
+                f"Fuzzer-discovered worst case for {entry.protocol!r}: "
+                f"{entry.genome.generator} population at fitness "
+                f"{entry.fitness:.3f} (observed max|error| "
+                f"{entry.observed_max_abs:.1f} vs radius {entry.radius:.1f})."
+            ),
+            params=pinned,
+            states=entry.build_states(),
+        )
+
+    factory.__name__ = f"{entry.scenario_name}_scenario"
+    factory.corpus_entry = entry
+    return factory
+
+
+def register_corpus(
+    corpus: Union[FuzzCorpus, str, Path],
+    *,
+    registry: Optional[dict] = None,
+) -> list[str]:
+    """Register every corpus entry as a pinned named scenario.
+
+    Returns the registered scenario names (sorted by entry digest).
+    Idempotent: re-registering the same corpus overwrites the same names
+    with identical factories.
+    """
+    if not isinstance(corpus, FuzzCorpus):
+        corpus = FuzzCorpus(corpus)
+    if registry is None:
+        registry = SCENARIOS
+    names = []
+    for entry in corpus.load_all():
+        registry[entry.scenario_name] = _pinned_scenario_factory(entry)
+        names.append(entry.scenario_name)
+    return names

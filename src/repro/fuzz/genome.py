@@ -1,0 +1,299 @@
+"""Genome encoding for the adversarial-workload fuzzer.
+
+A :class:`FuzzGenome` is a *population recipe*: which workload generator to
+instantiate (the :mod:`repro.workloads` organic families plus the
+:mod:`repro.workloads.adversarial` stress shapes), the generator's parameter
+knobs mapped onto unit-interval genes, and the unreliable-delivery fault
+schedule (drop / duplicate rates) bound onto
+:func:`repro.sim.batch_engine.run_batch_engine`.
+
+Design constraints the evolutionary engine relies on:
+
+* **Budget safety by construction.**  Every generator a genome can select
+  already enforces the hard ``<= k`` change budget, so no mutated or crossed
+  genome can leave the paper's structural assumption — the search space *is*
+  the space the guarantees quantify over.
+* **Content addressing.**  :meth:`FuzzGenome.to_payload` is a canonical,
+  JSON-stable view; :meth:`FuzzGenome.digest` hashes it, so two genomes are
+  equal iff their digests are, and changing *any* gene changes the corpus
+  artifact key (regression-tested).
+* **Determinism.**  :func:`random_genome`, :func:`mutate` and
+  :func:`crossover` draw only from the generator they are handed; the engine
+  feeds them a dedicated evolution stream off the root ``SeedSequence``
+  spawn tree, so the whole corpus is a pure function of ``(seed, budget)``.
+
+Inactive genes (e.g. ``flip_frac`` while the ``bounded`` generator is
+selected) still live in the payload: they ride along silently, participate
+in the digest, and become active the moment a mutation switches the
+generator — the classic neutral-gene trick that lets the search cross
+between generator families without losing tuned knobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.sim.store import canonical_json
+from repro.workloads.adversarial import (
+    BoundaryPopulation,
+    OscillationPopulation,
+    SpikePopulation,
+)
+from repro.workloads.generators import (
+    BoundedChangePopulation,
+    ChurnPopulation,
+    PeriodicPopulation,
+    Population,
+    TrendPopulation,
+)
+
+__all__ = [
+    "CHANGE_TIME_MODES",
+    "GENERATORS",
+    "GENOME_SCHEMA_VERSION",
+    "MAX_FAULT_RATE",
+    "FuzzGenome",
+    "build_population",
+    "crossover",
+    "generator_choices",
+    "mutate",
+    "random_genome",
+]
+
+#: Bump when the gene set changes; participates in every digest so corpus
+#: entries from an incompatible encoder are never silently re-decoded.
+GENOME_SCHEMA_VERSION = 1
+
+#: Every base generator a genome may select.  ``churn`` needs ``k >= 2``
+#: (one toggle plus the departure drop) — :func:`generator_choices` filters.
+GENERATORS = (
+    "spike",
+    "boundary_aligned",
+    "boundary_misaligned",
+    "oscillation",
+    "bounded",
+    "trend_sigmoid",
+    "trend_spike",
+    "periodic",
+    "churn",
+)
+
+#: Change-time concentration modes of :class:`BoundedChangePopulation`.
+CHANGE_TIME_MODES = ("uniform", "early", "late", "bursty")
+
+#: Cap on each fault-schedule gene.  Faults are scored against the
+#: fault-adjusted radius (:func:`repro.analysis.conformance.
+#: fault_adjusted_radius`), so they cannot trivially "win"; the cap keeps the
+#: search inside a regime a deployment would survive.
+MAX_FAULT_RATE = 0.25
+
+
+def generator_choices(k: int) -> tuple[str, ...]:
+    """The generators valid at change budget ``k``."""
+    if k >= 2:
+        return GENERATORS
+    return tuple(name for name in GENERATORS if name != "churn")
+
+
+@dataclass(frozen=True)
+class FuzzGenome:
+    """One population recipe plus its fault schedule (all genes, always).
+
+    Unit-interval genes are scaled onto generator parameters inside
+    :func:`build_population` so the genome stays valid for every ``(d, k)``
+    the engine is pointed at.
+    """
+
+    generator: str
+    flip_frac: float  # spike position within the horizon, in [0, 1]
+    start_prob: float  # bounded-population start probability, in [0, 1)
+    mode: str  # bounded-population change-time mode
+    exact_k: bool  # bounded population: every user spends the full budget
+    arrival_frac: float  # churn arrival window as a horizon fraction, (0, 1]
+    lifetime_frac: float  # churn mean lifetime as a horizon fraction, (0, 1]
+    drop_rate: float  # report-drop fault probability, [0, MAX_FAULT_RATE]
+    duplicate_rate: float  # report-duplicate fault probability, same range
+
+    def __post_init__(self) -> None:
+        if self.generator not in GENERATORS:
+            raise ValueError(
+                f"unknown generator {self.generator!r}; known: "
+                f"{', '.join(GENERATORS)}"
+            )
+        if self.mode not in CHANGE_TIME_MODES:
+            raise ValueError(
+                f"unknown change-time mode {self.mode!r}; known: "
+                f"{', '.join(CHANGE_TIME_MODES)}"
+            )
+        for name in ("flip_frac", "start_prob", "arrival_frac", "lifetime_frac"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("drop_rate", "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= MAX_FAULT_RATE:
+                raise ValueError(
+                    f"{name} must be in [0, {MAX_FAULT_RATE}], got {value}"
+                )
+
+    def to_payload(self) -> dict:
+        """Canonical JSON-stable view (the digest and corpus-key input)."""
+        return {
+            "schema": GENOME_SCHEMA_VERSION,
+            "generator": self.generator,
+            "flip_frac": self.flip_frac,
+            "start_prob": self.start_prob,
+            "mode": self.mode,
+            "exact_k": self.exact_k,
+            "arrival_frac": self.arrival_frac,
+            "lifetime_frac": self.lifetime_frac,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FuzzGenome":
+        """Inverse of :meth:`to_payload` (validating — corrupt values raise)."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"genome payload must be an object, got {payload!r}")
+        schema = payload.get("schema")
+        if schema != GENOME_SCHEMA_VERSION:
+            raise ValueError(
+                f"genome schema {schema!r} is not the supported "
+                f"{GENOME_SCHEMA_VERSION}"
+            )
+        try:
+            return cls(
+                generator=str(payload["generator"]),
+                flip_frac=float(payload["flip_frac"]),
+                start_prob=float(payload["start_prob"]),
+                mode=str(payload["mode"]),
+                exact_k=bool(payload["exact_k"]),
+                arrival_frac=float(payload["arrival_frac"]),
+                lifetime_frac=float(payload["lifetime_frac"]),
+                drop_rate=float(payload["drop_rate"]),
+                duplicate_rate=float(payload["duplicate_rate"]),
+            )
+        except KeyError as error:
+            raise ValueError(f"genome payload is missing gene {error}") from error
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical payload — the genome's identity."""
+        return hashlib.sha256(canonical_json(self.to_payload()).encode()).hexdigest()
+
+    def without_faults(self) -> "FuzzGenome":
+        """Copy with both fault genes zeroed.
+
+        The engine normalizes genomes this way for targets that run outside
+        the fault-capable batched engine, so a corpus entry never advertises
+        a fault schedule its protocol did not actually execute.
+        """
+        if not self.drop_rate and not self.duplicate_rate:
+            return self
+        return replace(self, drop_rate=0.0, duplicate_rate=0.0)
+
+
+def build_population(genome: FuzzGenome, d: int, k: int) -> Population:
+    """Instantiate the genome's population recipe for a ``(d, k)`` problem.
+
+    Every branch returns a budget-safe generator: the stress shapes toggle at
+    most ``k`` times by construction and the organic families enforce the
+    budget internally.
+    """
+    if genome.generator == "spike":
+        flip_time = 1 + round(genome.flip_frac * (d - 1))
+        return SpikePopulation(d, flip_time)
+    if genome.generator == "boundary_aligned":
+        return BoundaryPopulation(d, k, aligned=True)
+    if genome.generator == "boundary_misaligned":
+        return BoundaryPopulation(d, k, aligned=False)
+    if genome.generator == "oscillation":
+        return OscillationPopulation(d, k)
+    if genome.generator == "bounded":
+        return BoundedChangePopulation(
+            d,
+            k,
+            mode=genome.mode,
+            start_prob=genome.start_prob,
+            exact_k=genome.exact_k,
+        )
+    if genome.generator == "trend_sigmoid":
+        return TrendPopulation(d, k, curve="sigmoid")
+    if genome.generator == "trend_spike":
+        return TrendPopulation(d, k, curve="spike")
+    if genome.generator == "periodic":
+        return PeriodicPopulation(d, k)
+    if genome.generator == "churn":
+        return ChurnPopulation(
+            d,
+            k,
+            arrival_window=max(1, round(genome.arrival_frac * d)),
+            mean_lifetime=max(1, round(genome.lifetime_frac * d)),
+        )
+    raise ValueError(f"unknown generator {genome.generator!r}")  # unreachable
+
+
+def _draw_gene(name: str, rng: np.random.Generator, k: int):
+    """Draw one gene from its prior (the mutation and init distribution)."""
+    if name == "generator":
+        choices = generator_choices(k)
+        return choices[int(rng.integers(len(choices)))]
+    if name == "mode":
+        return CHANGE_TIME_MODES[int(rng.integers(len(CHANGE_TIME_MODES)))]
+    if name == "exact_k":
+        return bool(rng.integers(2))
+    if name in ("flip_frac", "start_prob"):
+        return float(rng.random())
+    if name in ("arrival_frac", "lifetime_frac"):
+        # Keep the scaled window/lifetime at least a twentieth of the
+        # horizon so churn populations stay non-degenerate.
+        return float(0.05 + 0.95 * rng.random())
+    if name in ("drop_rate", "duplicate_rate"):
+        # Half the mass on "no fault": the fault-free protocol is the primary
+        # object under test; faults are a stress axis, not the default.
+        if rng.random() < 0.5:
+            return 0.0
+        return float(MAX_FAULT_RATE * rng.random())
+    raise ValueError(f"unknown gene {name!r}")
+
+
+#: Gene names in dataclass order — the mutation/crossover axis set.
+GENE_FIELDS = tuple(field.name for field in fields(FuzzGenome))
+
+
+def random_genome(rng: np.random.Generator, k: int) -> FuzzGenome:
+    """Draw a fresh genome with every gene sampled from its prior."""
+    return FuzzGenome(
+        **{name: _draw_gene(name, rng, k) for name in GENE_FIELDS}
+    )
+
+
+def mutate(genome: FuzzGenome, rng: np.random.Generator, k: int) -> FuzzGenome:
+    """Redraw one uniformly chosen gene (retrying until the value changes).
+
+    Bounded retries keep the engine deterministic and non-blocking even for
+    two-valued genes; if every retry lands on the current value the genome is
+    returned unchanged (the engine's duplicate handling absorbs it).
+    """
+    name = GENE_FIELDS[int(rng.integers(len(GENE_FIELDS)))]
+    for _ in range(8):
+        value = _draw_gene(name, rng, k)
+        if value != getattr(genome, name):
+            return replace(genome, **{name: value})
+    return genome
+
+
+def crossover(
+    a: FuzzGenome, b: FuzzGenome, rng: np.random.Generator
+) -> FuzzGenome:
+    """Uniform crossover: each gene drawn from parent ``a`` or ``b`` by coin."""
+    picks = rng.integers(2, size=len(GENE_FIELDS))
+    return FuzzGenome(
+        **{
+            name: getattr(b if pick else a, name)
+            for name, pick in zip(GENE_FIELDS, picks, strict=True)
+        }
+    )

@@ -85,14 +85,27 @@ class BatchSimulationEngine(OnlineEngineBase):
         family: Optional[RandomizerFamily] = None,
         rng: Optional[np.random.Generator] = None,
         report_drop_rate: float = 0.0,
+        report_duplicate_rate: float = 0.0,
         chunk_size: Optional[int] = None,
         kernel=None,
     ) -> None:
         super().__init__(
             params, family=family, rng=rng, report_drop_rate=report_drop_rate
         )
+        if not 0.0 <= report_duplicate_rate < 1.0:
+            raise ValueError(
+                f"report_duplicate_rate must be in [0, 1), got "
+                f"{report_duplicate_rate}"
+            )
+        self._duplicate_rate = float(report_duplicate_rate)
         if chunk_size is not None:
             ensure_positive(chunk_size, "chunk_size")
+        if self._duplicate_rate and chunk_size is not None:
+            raise ValueError(
+                "report_duplicate_rate requires the monolithic engine path; "
+                "the chunked accumulator folds node sums and cannot replay "
+                "per-report duplication"
+            )
         self._chunk_size = chunk_size
         self._kernel = kernel
         self._randomize = family_randomizer(self._family, kernel)
@@ -107,7 +120,12 @@ class BatchSimulationEngine(OnlineEngineBase):
         With ``report_drop_rate > 0`` each report is independently lost with
         that probability *after* randomization (an unreliable-network fault
         model, identical to the object engine's): the client consumed its
-        pre-drawn noise either way, only delivery failed.
+        pre-drawn noise either way, only delivery failed.  With
+        ``report_duplicate_rate > 0`` each *delivered* report is additionally
+        re-delivered once with that probability (the retransmit-after-lost-ack
+        fault: the server cannot deduplicate anonymous reports).  Both rates
+        default to 0, in which case the faults consume no randomness and the
+        output is bit-identical to the fault-free historical path.
         """
         if self._chunk_size is not None or not isinstance(states, np.ndarray):
             return self._run_chunked(states, callback)
@@ -146,6 +164,11 @@ class BatchSimulationEngine(OnlineEngineBase):
                 column = reports[:, (t >> order) - 1]
                 if self._drop_rate:
                     column = column[rng.random(column.size) >= self._drop_rate]
+                if self._duplicate_rate:
+                    duplicated = column[
+                        rng.random(column.size) < self._duplicate_rate
+                    ]
+                    column = np.concatenate([column, duplicated])
                 delivered += server.receive_batch(order, t >> order, column)
             estimates[t - 1] = server.estimate(t)
             if callback is not None:
@@ -235,6 +258,7 @@ def run_batch_engine(
     *,
     family: Optional[RandomizerFamily] = None,
     report_drop_rate: float = 0.0,
+    report_duplicate_rate: float = 0.0,
     chunk_size: Optional[int] = None,
     kernel=None,
 ) -> ProtocolResult:
@@ -244,13 +268,16 @@ def run_batch_engine(
     ``(states, params, rng) -> ProtocolResult`` signature; this wraps the
     batched engine in it.  ``chunk_size`` selects the memory-bounded chunked
     mode (see :class:`BatchSimulationEngine`); ``kernel`` the randomizer
-    backend (:mod:`repro.kernels`).
+    backend (:mod:`repro.kernels`); the fault rates inject unreliable
+    delivery (drops and retransmit duplicates) — the knobs the
+    :mod:`repro.fuzz` genomes bind through picklable partials.
     """
     engine = BatchSimulationEngine(
         params,
         family=family,
         rng=rng,
         report_drop_rate=report_drop_rate,
+        report_duplicate_rate=report_duplicate_rate,
         chunk_size=chunk_size,
         kernel=kernel,
     )

@@ -24,6 +24,11 @@ any chunk size (fixed per-block seeding from a root ``SeedSequence``) — the
 entry point of the memory-bounded pipeline in :mod:`repro.sim.chunked`.
 """
 
+from repro.workloads.adversarial import (
+    BoundaryPopulation,
+    OscillationPopulation,
+    SpikePopulation,
+)
 from repro.workloads.generators import (
     BoundedChangePopulation,
     ChurnPopulation,
@@ -43,8 +48,11 @@ from repro.workloads.streams import iterate_periods, population_counts
 __all__ = [
     "Population",
     "BoundedChangePopulation",
+    "BoundaryPopulation",
     "ChurnPopulation",
+    "OscillationPopulation",
     "PeriodicPopulation",
+    "SpikePopulation",
     "TrendPopulation",
     "Scenario",
     "SCENARIOS",

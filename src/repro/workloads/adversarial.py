@@ -11,6 +11,17 @@ construct the populations a tester would reach for:
   usual noise).
 * :func:`full_budget_oscillation` — every user spends its entire budget
   toggling as fast as allowed within a window.
+
+Each stress shape is also wrapped as a :class:`~repro.workloads.generators.
+Population` subclass (:class:`SpikePopulation`, :class:`BoundaryPopulation`,
+:class:`OscillationPopulation`) so it plugs into every surface that consumes
+populations — ``sample_chunks`` out-of-core streaming, the ``SCENARIOS``
+registry, and the :mod:`repro.fuzz` genome encoder, whose search space is
+built from these wrappers plus the organic generator families.  The wrappers
+are valid ``sample_chunks`` citizens because every generator here draws its
+users i.i.d. (the deterministic shapes draw identical, parameter-free rows),
+so per-block re-seeding concatenates to the same distribution at any chunk
+size.
 """
 
 from __future__ import annotations
@@ -21,12 +32,16 @@ import numpy as np
 
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_power_of_two, ensure_positive
+from repro.workloads.generators import Population
 
 __all__ = [
     "synchronized_spike",
     "boundary_aligned",
     "boundary_misaligned",
     "full_budget_oscillation",
+    "SpikePopulation",
+    "BoundaryPopulation",
+    "OscillationPopulation",
 ]
 
 
@@ -103,3 +118,64 @@ def full_budget_oscillation(
     )
     toggles = np.cumsum(in_window, axis=1)
     return (toggles % 2).astype(np.int8)
+
+
+class SpikePopulation(Population):
+    """:func:`synchronized_spike` as a :class:`Population` (all rows equal).
+
+    Deterministic: ``sample`` ignores the generator, so ``sample_chunks`` is
+    trivially chunk-size invariant.
+
+    >>> SpikePopulation(d=8, flip_time=3).sample(2).tolist()
+    [[0, 0, 1, 1, 1, 1, 1, 1], [0, 0, 1, 1, 1, 1, 1, 1]]
+    """
+
+    def __init__(self, d: int, flip_time: int) -> None:
+        self._d = check_power_of_two(d, "d")
+        self._flip_time = ensure_positive(flip_time, "flip_time")
+        if self._flip_time > self._d:
+            raise ValueError(
+                f"flip_time must be at most d={self._d}, got {flip_time}"
+            )
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return the ``(n, d)`` spike matrix (rng unused — deterministic)."""
+        return synchronized_spike(n, self._d, self._flip_time)
+
+
+class BoundaryPopulation(Population):
+    """:func:`boundary_aligned` / :func:`boundary_misaligned` as a Population.
+
+    ``aligned=True`` toggles exactly on the ``k`` largest dyadic boundaries;
+    ``aligned=False`` lands every toggle one period after them.  Deterministic
+    rows, so chunked sampling is trivially invariant.
+    """
+
+    def __init__(self, d: int, k: int, *, aligned: bool = True) -> None:
+        self._d = check_power_of_two(d, "d")
+        self._k = ensure_positive(k, "k")
+        self._aligned = bool(aligned)
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return the ``(n, d)`` boundary-toggle matrix (rng unused)."""
+        build = boundary_aligned if self._aligned else boundary_misaligned
+        return build(n, self._d, self._k)
+
+
+class OscillationPopulation(Population):
+    """:func:`full_budget_oscillation` as a Population (i.i.d. random starts).
+
+    Each user independently draws its oscillation window start, so per-block
+    seeding in ``sample_chunks`` concatenates to the same distribution as one
+    monolithic draw.
+    """
+
+    def __init__(self, d: int, k: int) -> None:
+        self._d = check_power_of_two(d, "d")
+        self._k = ensure_positive(k, "k")
+        if self._k > self._d:
+            raise ValueError(f"k={k} cannot exceed d={d}")
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Return an ``(n, d)`` full-budget oscillation matrix."""
+        return full_budget_oscillation(n, self._d, self._k, as_generator(rng))

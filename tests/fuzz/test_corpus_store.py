@@ -1,0 +1,153 @@
+"""Corpus store contract: round-trip fidelity, loud corruption, registration.
+
+Mirrors the :mod:`repro.sim.store` artifact conventions the corpus reuses:
+content-addressed filenames, embedded checksums, corruption raising
+``ArtifactCorruptedError`` (never silently skipped), and atomic writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    FuzzCorpus,
+    entry_from_record,
+    register_corpus,
+    replay_entry,
+)
+from repro.fuzz.engine import run_fuzz
+from repro.sim.store import ArtifactCorruptedError
+
+_PARAMS = ProtocolParams(n=600, d=16, k=2, epsilon=1.0)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_fuzz(
+        "future_rand", _PARAMS, budget=4, seed=13, trials=2, population_size=4
+    )
+
+
+@pytest.fixture()
+def entry(outcome) -> CorpusEntry:
+    return entry_from_record(outcome, outcome.ranked[0])
+
+
+def test_round_trip_preserves_the_entry(tmp_path, outcome, entry):
+    corpus = FuzzCorpus(tmp_path)
+    path = corpus.write(entry)
+    assert path.name == f"{entry.digest}.json"
+    (loaded,) = corpus.load_all()
+    assert loaded == entry
+
+
+def test_write_is_idempotent(tmp_path, entry):
+    corpus = FuzzCorpus(tmp_path)
+    first = corpus.write(entry).read_bytes()
+    second = corpus.write(entry).read_bytes()
+    assert first == second
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_missing_directory_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError, match="repro fuzz"):
+        FuzzCorpus(tmp_path / "absent").load_all()
+
+
+def test_unparseable_json_raises_corruption(tmp_path, entry):
+    corpus = FuzzCorpus(tmp_path)
+    corpus.write(entry).write_text("{not json")
+    with pytest.raises(ArtifactCorruptedError, match="not readable JSON"):
+        corpus.load_all()
+
+
+def test_checksum_mismatch_raises_corruption(tmp_path, entry):
+    corpus = FuzzCorpus(tmp_path)
+    path = corpus.write(entry)
+    artifact = json.loads(path.read_text())
+    artifact["result"]["fitness"] = 999.0
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    with pytest.raises(ArtifactCorruptedError, match="checksum"):
+        corpus.load_all()
+
+
+def test_missing_fields_raise_corruption(tmp_path, entry):
+    corpus = FuzzCorpus(tmp_path)
+    path = corpus.write(entry)
+    artifact = json.loads(path.read_text())
+    del artifact["result"]
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    with pytest.raises(ArtifactCorruptedError, match="missing fields"):
+        corpus.load_all()
+
+
+def test_renamed_artifact_raises_corruption(tmp_path, entry):
+    corpus = FuzzCorpus(tmp_path)
+    path = corpus.write(entry)
+    path.rename(tmp_path / f"{'0' * 64}.json")
+    with pytest.raises(ArtifactCorruptedError, match="filename"):
+        corpus.load_all()
+
+
+def test_artifact_carries_no_wallclock(tmp_path, entry):
+    """Byte-stability across reruns requires meta to be time-free."""
+    corpus = FuzzCorpus(tmp_path)
+    artifact = json.loads(corpus.write(entry).read_text())
+    assert set(artifact["meta"]) == {"git_sha"}
+
+
+def test_replay_entry_is_bit_identical_with_recorded_kernel(entry):
+    metrics = replay_entry(entry)
+    assert tuple(tuple(trial) for trial in metrics) == entry.metrics
+
+
+def test_register_corpus_installs_pinned_scenarios(tmp_path, outcome):
+    corpus = FuzzCorpus(tmp_path)
+    entries = [
+        entry_from_record(outcome, record) for record in outcome.ranked[:2]
+    ]
+    for item in entries:
+        corpus.write(item)
+    registry: dict = {}
+    names = register_corpus(corpus, registry=registry)
+    assert sorted(names) == sorted(e.scenario_name for e in entries)
+    for item in entries:
+        scenario = registry[item.scenario_name]()
+        assert scenario.params == item.params
+        assert (scenario.states == item.build_states()).all()
+        # Pinned: parameter overrides that disagree are rejected loudly.
+        with pytest.raises(ValueError, match="pinned"):
+            registry[item.scenario_name](n=item.params.n + 1)
+        # Matching values (the shared factory signature) are accepted.
+        registry[item.scenario_name](n=item.params.n, d=item.params.d)
+
+
+def test_scenario_name_is_digest_prefixed(entry):
+    assert entry.scenario_name == f"fuzz_{entry.digest[:12]}"
+
+
+def test_digest_moves_with_every_key_component(entry):
+    variants = [
+        dataclasses.replace(entry, protocol="erlingsson"),
+        dataclasses.replace(entry, seed=entry.seed + 1),
+        dataclasses.replace(entry, generation=entry.generation + 1),
+        dataclasses.replace(entry, slot=entry.slot + 1),
+        dataclasses.replace(entry, trials=entry.trials + 1),
+        dataclasses.replace(entry, kernel="fast"),
+        dataclasses.replace(
+            entry, genome=entry.genome.without_faults()
+        )
+        if entry.genome.drop_rate or entry.genome.duplicate_rate
+        else None,
+        dataclasses.replace(
+            entry, params=ProtocolParams(n=_PARAMS.n + 1, d=16, k=2, epsilon=1.0)
+        ),
+    ]
+    for variant in variants:
+        if variant is not None:
+            assert variant.digest != entry.digest

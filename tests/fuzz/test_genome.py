@@ -1,0 +1,207 @@
+"""Genome encoder properties: validity, identity, and operator determinism.
+
+The fuzzer's correctness rests on three encoder invariants: every genome the
+operators can produce builds a *valid, budget-safe* population; the digest
+is a faithful identity (any gene change changes it, payload round-trips
+preserve it); and the operators are pure functions of the generator they
+are handed (bit-for-bit repeatable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz.genome import (
+    CHANGE_TIME_MODES,
+    GENERATORS,
+    MAX_FAULT_RATE,
+    FuzzGenome,
+    build_population,
+    crossover,
+    generator_choices,
+    mutate,
+    random_genome,
+)
+
+
+def _count_changes(states: np.ndarray) -> np.ndarray:
+    return (np.diff(states.astype(np.int16), axis=1) != 0).sum(axis=1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    log_d=st.integers(min_value=2, max_value=5),
+    k=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=40),
+)
+def test_random_genome_builds_budget_safe_population(seed, log_d, k, n):
+    """Any drawn genome yields valid int8 {0,1} states with <= k changes."""
+    d = 1 << log_d
+    k = min(k, d)
+    rng = np.random.default_rng(seed)
+    genome = random_genome(rng, k)
+    population = build_population(genome, d, k)
+    states = population.sample(n, np.random.default_rng([seed, 1]))
+    assert states.shape == (n, d)
+    assert states.dtype == np.int8
+    assert set(np.unique(states)) <= {0, 1}
+    assert (_count_changes(states) <= k).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=1, max_value=6),
+    k=st.integers(min_value=1, max_value=4),
+)
+def test_mutate_and_crossover_stay_in_the_valid_space(seed, steps, k):
+    """Chains of mutations/crossovers never leave the constructor's domain.
+
+    ``FuzzGenome.__post_init__`` validates every gene, so merely building
+    the offspring proves validity; the population build proves usability.
+    """
+    rng = np.random.default_rng(seed)
+    a = random_genome(rng, k)
+    b = random_genome(rng, k)
+    for _ in range(steps):
+        a = mutate(a, rng, k)
+        b = crossover(a, b, rng)
+    d = 16
+    build_population(a, d, min(k, d)).sample(5, np.random.default_rng(0))
+    build_population(b, d, min(k, d)).sample(5, np.random.default_rng(0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_operators_are_deterministic(seed):
+    """Same generator state in, same genome out — bit for bit."""
+
+    def draw(op):
+        return op(np.random.default_rng(seed))
+
+    assert draw(lambda g: random_genome(g, 3)) == draw(
+        lambda g: random_genome(g, 3)
+    )
+    base = random_genome(np.random.default_rng(0), 3)
+    other = random_genome(np.random.default_rng(1), 3)
+    assert draw(lambda g: mutate(base, g, 3)) == draw(lambda g: mutate(base, g, 3))
+    assert draw(lambda g: crossover(base, other, g)) == draw(
+        lambda g: crossover(base, other, g)
+    )
+
+
+def test_payload_round_trip_preserves_digest():
+    rng = np.random.default_rng(7)
+    for _ in range(20):
+        genome = random_genome(rng, 4)
+        clone = FuzzGenome.from_payload(genome.to_payload())
+        assert clone == genome
+        assert clone.digest() == genome.digest()
+
+
+def test_every_field_mutation_changes_the_digest():
+    """The corpus artifact key must move when any gene moves."""
+    genome = FuzzGenome(
+        generator="bounded",
+        flip_frac=0.5,
+        start_prob=0.25,
+        mode="uniform",
+        exact_k=False,
+        arrival_frac=0.5,
+        lifetime_frac=0.5,
+        drop_rate=0.1,
+        duplicate_rate=0.05,
+    )
+    baseline = genome.digest()
+    changed = {
+        "generator": "spike",
+        "flip_frac": 0.75,
+        "start_prob": 0.5,
+        "mode": "late",
+        "exact_k": True,
+        "arrival_frac": 0.25,
+        "lifetime_frac": 0.75,
+        "drop_rate": 0.2,
+        "duplicate_rate": 0.0,
+    }
+    for field in dataclasses.fields(FuzzGenome):
+        variant = dataclasses.replace(genome, **{field.name: changed[field.name]})
+        assert variant.digest() != baseline, field.name
+
+
+def test_generator_choices_excludes_churn_below_k2():
+    assert "churn" not in generator_choices(1)
+    assert generator_choices(2) == GENERATORS
+
+
+def test_constructor_rejects_out_of_domain_genes():
+    valid = dict(
+        generator="bounded",
+        flip_frac=0.5,
+        start_prob=0.25,
+        mode="uniform",
+        exact_k=False,
+        arrival_frac=0.5,
+        lifetime_frac=0.5,
+        drop_rate=0.0,
+        duplicate_rate=0.0,
+    )
+    with pytest.raises(ValueError, match="unknown generator"):
+        FuzzGenome(**{**valid, "generator": "nope"})
+    with pytest.raises(ValueError, match="unknown change-time mode"):
+        FuzzGenome(**{**valid, "mode": "nope"})
+    with pytest.raises(ValueError, match="flip_frac"):
+        FuzzGenome(**{**valid, "flip_frac": 1.5})
+    with pytest.raises(ValueError, match="drop_rate"):
+        FuzzGenome(**{**valid, "drop_rate": MAX_FAULT_RATE + 0.01})
+    with pytest.raises(ValueError, match="schema"):
+        FuzzGenome.from_payload({**valid, "schema": 999})
+    with pytest.raises(ValueError, match="missing gene"):
+        FuzzGenome.from_payload({"schema": 1, "generator": "bounded"})
+
+
+def test_without_faults_zeroes_only_the_fault_genes():
+    genome = FuzzGenome(
+        generator="spike",
+        flip_frac=0.5,
+        start_prob=0.25,
+        mode="bursty",
+        exact_k=True,
+        arrival_frac=0.5,
+        lifetime_frac=0.5,
+        drop_rate=0.2,
+        duplicate_rate=0.1,
+    )
+    clean = genome.without_faults()
+    assert clean.drop_rate == 0.0 and clean.duplicate_rate == 0.0
+    assert dataclasses.replace(
+        genome, drop_rate=0.0, duplicate_rate=0.0
+    ) == clean
+    assert clean.without_faults() is clean  # already clean: no new object
+
+
+def test_all_modes_and_generators_are_buildable():
+    """Exhaustive: every discrete gene value maps to a working population."""
+    for generator in GENERATORS:
+        for mode in CHANGE_TIME_MODES:
+            genome = FuzzGenome(
+                generator=generator,
+                flip_frac=0.3,
+                start_prob=0.2,
+                mode=mode,
+                exact_k=False,
+                arrival_frac=0.4,
+                lifetime_frac=0.6,
+                drop_rate=0.0,
+                duplicate_rate=0.0,
+            )
+            states = build_population(genome, 16, 2).sample(
+                8, np.random.default_rng(3)
+            )
+            assert states.shape == (8, 16)

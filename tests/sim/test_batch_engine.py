@@ -17,6 +17,7 @@ from repro.sim.batch_engine import BatchSimulationEngine, run_batch_engine
 from repro.sim.engine import SimulationEngine, StepSnapshot
 from repro.sim.runner import run_trials
 from repro.workloads import telemetry_fleet_scenario
+from repro.workloads.generators import BoundedChangePopulation
 
 
 class TestOnlineContract:
@@ -150,6 +151,82 @@ class TestFaultInjection:
         sent = int((params.d >> result.orders).sum())
         # Binomial(sent, 0.5): delivered must sit well inside (0.4, 0.6) * sent.
         assert 0.4 * sent < delivered < 0.6 * sent
+
+    def test_invalid_duplicate_rate(self):
+        params = ProtocolParams(n=10, d=8, k=1, epsilon=1.0)
+        with pytest.raises(ValueError):
+            BatchSimulationEngine(params, report_duplicate_rate=1.0)
+        with pytest.raises(ValueError):
+            BatchSimulationEngine(params, report_duplicate_rate=-0.1)
+
+    def test_duplicate_rate_rejected_in_chunked_mode(self):
+        params = ProtocolParams(n=10, d=8, k=1, epsilon=1.0)
+        with pytest.raises(ValueError, match="monolithic"):
+            BatchSimulationEngine(
+                params, report_duplicate_rate=0.1, chunk_size=4
+            )
+
+    def test_duplicated_reports_counted_in(self):
+        params = ProtocolParams(n=500, d=16, k=2, epsilon=1.0)
+        states = np.zeros((500, 16), dtype=np.int8)
+        snapshots: list[StepSnapshot] = []
+        result = BatchSimulationEngine(
+            params, rng=np.random.default_rng(5), report_duplicate_rate=0.5
+        ).run(states, snapshots.append)
+        delivered = sum(snap.reports_this_period for snap in snapshots)
+        sent = int((params.d >> result.orders).sum())
+        # Each report arrives once plus an independent Binomial(sent, 0.5)
+        # retransmission: delivered must sit well inside (1.4, 1.6) * sent.
+        assert 1.4 * sent < delivered < 1.6 * sent
+
+    def test_zero_duplicate_rate_is_bit_identical_to_no_fault(self):
+        """Rate 0 consumes no randomness: the historical path is unchanged."""
+        params = ProtocolParams(n=200, d=16, k=2, epsilon=1.0)
+        states = BoundedChangePopulation(16, 2).sample(
+            200, np.random.default_rng(0)
+        )
+        plain = BatchSimulationEngine(
+            params, rng=np.random.default_rng(9)
+        ).run(states)
+        with_knob = BatchSimulationEngine(
+            params, rng=np.random.default_rng(9), report_duplicate_rate=0.0
+        ).run(states)
+        np.testing.assert_array_equal(plain.estimates, with_knob.estimates)
+
+    def test_duplicates_inflate_the_estimate_magnitude(self):
+        """Retransmitted reports double-count noise: error grows with p."""
+        params = ProtocolParams(n=400, d=8, k=1, epsilon=1.0)
+        family = SimpleRandomizerFamily(1, 1.0)
+        states = np.ones((400, 8), dtype=np.int8)
+        plain_err, duplicated_err = [], []
+        for trial in range(10):
+            plain = BatchSimulationEngine(
+                params, family=family, rng=np.random.default_rng(trial)
+            ).run(states)
+            duplicated = BatchSimulationEngine(
+                params,
+                family=family,
+                rng=np.random.default_rng(trial),
+                report_duplicate_rate=0.9,
+            ).run(states)
+            plain_err.append(np.abs(plain.estimates - 400).max())
+            duplicated_err.append(np.abs(duplicated.estimates - 400).max())
+        assert np.mean(duplicated_err) > np.mean(plain_err)
+
+    def test_runner_adapter_threads_duplicate_rate(self):
+        params = ProtocolParams(n=50, d=8, k=1, epsilon=1.0)
+        states = np.zeros((50, 8), dtype=np.int8)
+        result = run_batch_engine(
+            states,
+            params,
+            np.random.default_rng(3),
+            report_duplicate_rate=0.3,
+        )
+        assert result.estimates.shape == (8,)
+        with pytest.raises(ValueError):
+            run_batch_engine(
+                states, params, report_duplicate_rate=0.3, chunk_size=16
+            )
 
 
 class TestStatisticalEquivalence:

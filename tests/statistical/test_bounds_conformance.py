@@ -109,6 +109,26 @@ def test_every_registered_protocol_has_a_conformance_case():
     assert not stale, f"conformance cases {stale} name unregistered protocols"
 
 
+def test_radius_dispatcher_mirrors_the_registry():
+    """The runtime radius map (the fuzzer's fitness denominator) stays exact.
+
+    :data:`repro.analysis.conformance.RADIUS_BY_PROTOCOL` deliberately keys
+    by string without importing the protocol layer; this meta-test is what
+    keeps those keys equal to :data:`PROTOCOLS` — and consistent with this
+    suite's own CASES — as both evolve.
+    """
+    from repro.analysis.conformance import RADIUS_BY_PROTOCOL, protocol_radius
+
+    assert set(RADIUS_BY_PROTOCOL) == set(PROTOCOLS)
+    for name, case in CASES.items():
+        assert RADIUS_BY_PROTOCOL[name] is case.radius, (
+            f"{name}: RADIUS_BY_PROTOCOL and the test CASES disagree on the "
+            f"radius shape"
+        )
+    with pytest.raises(KeyError, match="no conformance radius"):
+        protocol_radius("not_a_protocol", _BIG, 1.0)
+
+
 def _observed_worst_error(name: str, case: ConformanceCase) -> float:
     protocol = PROTOCOLS[name]
     root = np.random.SeedSequence(case.seed)

@@ -1,0 +1,117 @@
+"""The shipped fuzz corpus replays as tier-1 conformance regressions.
+
+Every entry committed under ``results/fuzz/`` is a fuzzer-discovered
+worst-case workload pinned against the analytical radius.  This suite is the
+regression lock: each entry must (a) replay *bit-identically* with its
+recorded kernel — the discovery run is reproducible forever — and (b) stay
+within its fault-adjusted analytical radius under every kernel backend the
+protocol supports, with the same explicit failure-probability accounting the
+rest of the statistical suite uses.  It also pins the corpus floor the PR
+ships (>= 3 entries over >= 2 protocols) and checks
+:func:`repro.fuzz.register_corpus` installs every entry as a named pinned
+scenario.
+
+Deliberately NOT marked slow: corpus replay is the fast-lane face of the
+fuzzer (the evolutionary search itself lives in the nightly lane).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from conformance_harness import assert_error_within_bound
+
+from repro.fuzz.corpus import FuzzCorpus, register_corpus, replay_entry
+from repro.kernels import available_kernels
+from repro.protocols import PROTOCOLS
+
+CORPUS_DIR = Path(__file__).resolve().parents[2] / "results" / "fuzz"
+
+ENTRIES = FuzzCorpus(CORPUS_DIR).load_all()
+
+
+def _entry_id(entry) -> str:
+    return f"{entry.protocol}-{entry.digest[:12]}"
+
+
+def test_shipped_corpus_meets_the_floor():
+    assert len(ENTRIES) >= 3, "the PR ships at least 3 pinned worst cases"
+    assert len({entry.protocol for entry in ENTRIES}) >= 2, (
+        "the corpus covers at least 2 registry protocols"
+    )
+    for entry in ENTRIES:
+        assert entry.protocol in PROTOCOLS
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+def test_replay_is_bit_identical_with_recorded_kernel(entry):
+    """The discovery run must reproduce exactly — drift is a regression."""
+    metrics = replay_entry(entry)
+    assert tuple(tuple(trial) for trial in metrics) == entry.metrics, (
+        f"corpus entry {entry.scenario_name} no longer replays "
+        f"bit-identically; a determinism-contract regression upstream of "
+        f"{entry.protocol}"
+    )
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+@pytest.mark.parametrize("kernel", sorted(available_kernels()))
+def test_replay_stays_within_the_bound_under_every_kernel(entry, kernel):
+    """Observed max-error <= the pinned fault-adjusted radius, per backend.
+
+    Kernel-less protocols replay their recorded (reference) path for every
+    parametrization — the redundant run doubles as a stability check.
+    """
+    resolved = kernel if PROTOCOLS[entry.protocol].supports_kernel else None
+    metrics = replay_entry(entry, kernel=resolved)
+    observed = max(trial[0] for trial in metrics)
+    assert_error_within_bound(
+        protocol=f"{entry.protocol}[{entry.scenario_name}, kernel={kernel}]",
+        observed_max_abs=observed,
+        bound=entry.radius,
+        per_trial_failure_probability=entry.per_trial_failure,
+        trials=entry.trials,
+        seed=entry.seed,
+        note=(
+            "fuzzer-pinned worst case; the radius is fault-adjusted for the "
+            f"genome's drop_rate={entry.genome.drop_rate} / "
+            f"duplicate_rate={entry.genome.duplicate_rate}"
+        ),
+    )
+
+
+def test_corpus_registers_as_pinned_scenarios():
+    registry: dict = {}
+    names = register_corpus(CORPUS_DIR, registry=registry)
+    assert sorted(names) == sorted(
+        entry.scenario_name for entry in ENTRIES
+    )
+    for entry in ENTRIES:
+        scenario = registry[entry.scenario_name]()
+        assert scenario.name == entry.scenario_name
+        assert scenario.params == entry.params
+        assert scenario.states.shape == (entry.params.n, entry.params.d)
+        assert entry.protocol in scenario.description
+
+
+def test_corpus_registers_into_the_global_registry():
+    """The public entry point installs into SCENARIOS (and is idempotent)."""
+    from repro.workloads import SCENARIOS
+
+    names = register_corpus(CORPUS_DIR)
+    try:
+        assert set(names) <= set(SCENARIOS)
+        assert register_corpus(CORPUS_DIR) == names
+    finally:
+        for name in names:
+            SCENARIOS.pop(name, None)
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+def test_pinned_observations_are_self_consistent(entry):
+    """The recorded summary agrees with the recorded per-trial metrics."""
+    assert entry.observed_max_abs == max(trial[0] for trial in entry.metrics)
+    assert entry.observed_max_abs <= entry.radius
+    assert entry.radius >= entry.base_radius
+    assert len(entry.metrics) == entry.trials

@@ -1,0 +1,107 @@
+"""Property tests for the adversarial Population wrappers.
+
+The :mod:`repro.fuzz` genome encoder builds its search space from these
+wrappers, so the invariants the fuzzer assumes are pinned here: every sample
+is a valid int8 {0,1} matrix spending at most ``k`` changes, and — because
+each wrapper draws users i.i.d. — ``sample_chunks`` concatenates to exactly
+``sample`` at any chunk size (the out-of-core contract every other
+Population already satisfies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import as_seed_sequence
+from repro.workloads.adversarial import (
+    BoundaryPopulation,
+    OscillationPopulation,
+    SpikePopulation,
+)
+
+
+def _changes(states: np.ndarray) -> np.ndarray:
+    return (np.diff(states.astype(np.int16), axis=1) != 0).sum(axis=1)
+
+
+def _wrappers(d: int, k: int):
+    return [
+        (SpikePopulation(d, flip_time=max(1, d // 2)), 1),
+        (BoundaryPopulation(d, k, aligned=True), k),
+        (BoundaryPopulation(d, k, aligned=False), k),
+        (OscillationPopulation(d, k), k),
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    log_d=st.integers(min_value=2, max_value=6),
+    k=st.integers(min_value=1, max_value=4),
+    n=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_samples_are_budget_safe_boolean_matrices(log_d, k, n, seed):
+    d = 1 << log_d
+    k = min(k, d)
+    for population, budget in _wrappers(d, k):
+        states = population.sample(n, np.random.default_rng(seed))
+        assert states.shape == (n, d)
+        assert states.dtype == np.int8
+        assert set(np.unique(states)) <= {0, 1}
+        assert (_changes(states) <= budget).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    log_d=st.integers(min_value=2, max_value=5),
+    k=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    chunk_size=st.sampled_from([1, 3, 7, 64]),
+)
+def test_sample_chunks_is_chunk_size_invariant(log_d, k, n, seed, chunk_size):
+    """Concatenated chunks == one monolithic block draw, for any chunk size.
+
+    With ``block_rows >= n`` there is a single seed block, drawn with a
+    generator from the root's first spawn child — the same rows whether they
+    are emitted in one piece or many.
+    """
+    d = 1 << log_d
+    k = min(k, d)
+    for population, _ in _wrappers(d, k):
+        root = as_seed_sequence(seed, reset_spawn_counter=True)
+        (child,) = root.spawn(1)
+        monolithic = population.sample(n, np.random.default_rng(child))
+        chunks = list(
+            population.sample_chunks(n, chunk_size, seed, block_rows=128)
+        )
+        assert all(chunk.shape[0] <= chunk_size for chunk in chunks)
+        np.testing.assert_array_equal(np.vstack(chunks), monolithic)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    chunk_a=st.sampled_from([1, 5, 16]),
+    chunk_b=st.sampled_from([3, 11, 80]),
+)
+def test_multi_block_chunking_agrees_across_chunk_sizes(seed, chunk_a, chunk_b):
+    """Across multiple seed blocks, any two chunkings yield identical rows."""
+    population = OscillationPopulation(16, 2)
+    a = np.vstack(list(population.sample_chunks(70, chunk_a, seed, block_rows=32)))
+    b = np.vstack(list(population.sample_chunks(70, chunk_b, seed, block_rows=32)))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_deterministic_wrappers_ignore_the_generator():
+    """Spike/boundary rows are parameter-only: any rng gives the same matrix."""
+    for population in (
+        SpikePopulation(16, flip_time=5),
+        BoundaryPopulation(16, 2, aligned=True),
+        BoundaryPopulation(16, 2, aligned=False),
+    ):
+        a = population.sample(9, np.random.default_rng(0))
+        b = population.sample(9, np.random.default_rng(12345))
+        np.testing.assert_array_equal(a, b)
