@@ -46,9 +46,12 @@ __all__ = [
     "format_protocol_bench_table",
     "git_sha",
     "headline_speedup",
+    "format_service_bench_table",
     "protocol_bench_grid",
     "run_kernel_bench",
     "run_protocol_bench",
+    "run_service_bench",
+    "service_bench_grid",
     "sparse_sign_matrix",
     "write_bench_report",
 ]
@@ -382,6 +385,181 @@ def format_protocol_bench_table(payload: dict) -> str:
             f"{row['max_abs_error']:>10.1f} {row['mean_abs_error']:>10.1f} "
             f"{row['expected_report_bits']:>10.1f}"
         )
+    return "\n".join(lines)
+
+
+def service_bench_grid(scale: str = "quick") -> list[dict]:
+    """Return the ingestion-service points for ``scale``.
+
+    Every point runs the ``soak`` traffic preset (bursty arrivals, 5%
+    stragglers, 1% retransmit duplicates) through
+    :func:`repro.sim.service.run_service` at each listed worker count; the
+    ``full`` point is the acceptance soak — ``n = 10^5`` users at ``d = 256``
+    with a 1/2/4-worker bit-identity sweep.
+    """
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    if scale == "smoke":
+        return [
+            {
+                "n": 2_000, "d": 64, "k": 4, "epsilon": 1.0,
+                "traffic": "soak", "workers": [1, 2],
+            }
+        ]
+    if scale == "quick":
+        return [
+            {
+                "n": 20_000, "d": 256, "k": 4, "epsilon": 1.0,
+                "traffic": "soak", "workers": [1, 2],
+            }
+        ]
+    return [
+        {
+            "n": 100_000, "d": 256, "k": 4, "epsilon": 1.0,
+            "traffic": "soak", "workers": [1, 2, 4],
+        }
+    ]
+
+
+def run_service_bench(*, scale: str = "quick", seed: int = 0) -> dict:
+    """Benchmark the asyncio ingestion service; return the ``BENCH_service.json`` payload.
+
+    One row per (grid point, worker count): wall-clock seconds of the full
+    shard/schedule/serve pipeline, sustained delivered reports/sec, the
+    realized fault rates, and the run's max absolute error against the
+    fault-adjusted conformance radius (the ``future_rand`` hierarchical
+    radius widened by the *observed* drop and duplicate rates).  Rows at the
+    same point also pin the sharding contract: every worker count must
+    reproduce the single-process estimates bit for bit, recorded per row as
+    ``bit_identical`` and payload-wide as ``all_bit_identical``.
+    """
+    from repro.analysis.conformance import (
+        fault_adjusted_radius,
+        protocol_radius,
+    )
+    from repro.core.params import ProtocolParams
+    from repro.sim.service import run_service
+    from repro.workloads.generators import BoundedChangePopulation
+
+    grid = service_bench_grid(scale)
+    results = []
+    all_bit_identical = True
+    headline_rate: Optional[float] = None
+    for point_index, point in enumerate(grid):
+        params = ProtocolParams(
+            n=point["n"], d=point["d"], k=point["k"], epsilon=point["epsilon"]
+        )
+        population = BoundedChangePopulation(
+            point["d"], point["k"], exact_k=True
+        )
+        # One seed-tree node per point (the v2 scheme); run_service spawns
+        # its workload/protocol/traffic streams beneath it, so every worker
+        # count at the point replays the identical run.
+        root = np.random.SeedSequence(
+            entropy=seed, spawn_key=(point_index, _STREAM_INPUT)
+        )
+        baseline: Optional[np.ndarray] = None
+        for workers in point["workers"]:
+            result = run_service(
+                population,
+                params,
+                root,
+                traffic=point["traffic"],
+                workers=workers,
+            )
+            if baseline is None:
+                baseline = result.estimates
+                bit_identical = True
+            else:
+                bit_identical = bool(
+                    np.array_equal(baseline, result.estimates)
+                )
+            all_bit_identical = all_bit_identical and bit_identical
+            bound, _beta = protocol_radius("future_rand", params, result.c_gap)
+            radius = fault_adjusted_radius(
+                bound,
+                params,
+                drop_rate=result.stats.effective_drop_rate,
+                duplicate_rate=result.stats.effective_duplicate_rate,
+            )
+            max_abs_error = result.to_result().max_abs_error
+            if workers == 1:
+                headline_rate = result.reports_per_second
+            results.append(
+                {
+                    "traffic": point["traffic"],
+                    "workers": workers,
+                    "n": point["n"],
+                    "d": point["d"],
+                    "k": point["k"],
+                    "epsilon": point["epsilon"],
+                    "seconds": result.elapsed_seconds,
+                    "reports_per_second": result.reports_per_second,
+                    "delivered_reports": result.stats.delivered_reports,
+                    "dropped_reports": result.stats.dropped_reports,
+                    "duplicates_discarded": result.stats.duplicates_discarded,
+                    "skew_buffered": result.stats.skew_buffered,
+                    "peak_queue_depth": result.stats.peak_queue_depth,
+                    "effective_drop_rate": result.stats.effective_drop_rate,
+                    "effective_duplicate_rate": (
+                        result.stats.effective_duplicate_rate
+                    ),
+                    "max_abs_error": max_abs_error,
+                    "fault_adjusted_radius": radius,
+                    "within_radius": bool(max_abs_error <= radius),
+                    "bit_identical": bit_identical,
+                    "blocks": result.blocks,
+                }
+            )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "benchmark": "service",
+        "scale": scale,
+        "seed": seed,
+        "seed_scheme": BENCH_SEED_SCHEME,
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "all_bit_identical": all_bit_identical,
+        "all_within_radius": all(row["within_radius"] for row in results),
+        "headline_reports_per_second": headline_rate,
+        "results": results,
+    }
+
+
+def format_service_bench_table(payload: dict) -> str:
+    """Human-readable summary of a service-mode payload (printed by the CLI)."""
+    lines = [
+        f"ingestion service trajectory "
+        f"(scale={payload['scale']}, git={payload['git_sha'][:12]})",
+        f"{'traffic':<10} {'workers':>7} {'n':>8} {'d':>5} "
+        f"{'seconds':>8} {'reports/s':>12} {'max|err|':>10} {'radius':>10} "
+        f"{'ok':>3} {'bits':>5}",
+    ]
+    for row in payload["results"]:
+        lines.append(
+            f"{row['traffic']:<10} {row['workers']:>7} {row['n']:>8,} "
+            f"{row['d']:>5} {row['seconds']:>8.3f} "
+            f"{row['reports_per_second']:>12,.0f} "
+            f"{row['max_abs_error']:>10.1f} "
+            f"{row['fault_adjusted_radius']:>10.1f} "
+            f"{'yes' if row['within_radius'] else 'NO':>3} "
+            f"{'same' if row['bit_identical'] else 'DIFF':>5}"
+        )
+    headline = payload.get("headline_reports_per_second")
+    if headline is not None:
+        lines.append(
+            f"headline sustained ingest (workers=1): {headline:,.0f} reports/s"
+        )
+    lines.append(
+        "sharding contract: "
+        + (
+            "bit-identical at every worker count"
+            if payload.get("all_bit_identical")
+            else "BIT-IDENTITY VIOLATION"
+        )
+    )
     return "\n".join(lines)
 
 

@@ -14,6 +14,8 @@ Usage::
         --values 2 8 32 --workers 4 --out results/ --resume
     repro sweep ... --kernel fast   # high-throughput randomizer backend
     repro bench --scale quick       # emit BENCH_kernels.json (perf trajectory)
+    repro bench --mode service      # emit BENCH_service.json (ingest trajectory)
+    repro serve-sim --scenario flash_crowd --workers 2   # asyncio ingestion
     repro results show results/     # inspect persisted sweep artifacts
     repro results merge merged.json results/tables/*.json
     repro fuzz --protocol future_rand --budget 48   # evolve worst-case workloads
@@ -253,15 +255,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = subparsers.add_parser(
         "bench",
-        help="benchmark kernel backends (--mode kernels) or every registry "
-        "protocol (--mode protocols) and emit the machine-readable "
-        "BENCH_*.json perf-trajectory point",
+        help="benchmark kernel backends (--mode kernels), every registry "
+        "protocol (--mode protocols), or the asyncio ingestion service "
+        "(--mode service) and emit the machine-readable BENCH_*.json "
+        "perf-trajectory point",
     )
     bench_parser.add_argument(
-        "--mode", choices=("kernels", "protocols"), default="kernels",
+        "--mode", choices=("kernels", "protocols", "service"), default="kernels",
         help="kernels: randomizer backend speedups (default); protocols: "
         "per-protocol error/wall-clock/report-bits over a shared "
-        "n/d/k/eps grid covering every PROTOCOLS entry",
+        "n/d/k/eps grid covering every PROTOCOLS entry; service: "
+        "ingestion throughput, worker bit-identity and fault-adjusted "
+        "conformance under soak traffic",
     )
     bench_parser.add_argument(
         "--scale", choices=("smoke", "quick", "full"), default="quick",
@@ -278,8 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--out", default="BENCH_kernels.json",
-        help="output JSON path (default: BENCH_kernels.json, or "
-        "BENCH_protocols.json when --mode protocols is given without --out)",
+        help="output JSON path (default: BENCH_kernels.json, retargeted to "
+        "BENCH_protocols.json / BENCH_service.json when --mode is given "
+        "without --out)",
     )
     bench_parser.add_argument("--seed", type=int, default=0)
     bench_parser.add_argument(
@@ -288,6 +294,74 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) asserts only on hosts with more than one usable CPU "
         "(single-CPU containers time too noisily to gate on), 'on' always, "
         "'off' never; the JSON is emitted regardless",
+    )
+
+    from repro.workloads.scenarios import SCENARIOS
+    from repro.workloads.traffic import TRAFFIC_MODELS
+
+    serve_parser = subparsers.add_parser(
+        "serve-sim",
+        help="play a workload through the asyncio ingestion service under a "
+        "traffic model (bursts, stragglers, duplicates, clock skew); "
+        "prints live estimates mid-stream and a delivery summary",
+    )
+    serve_parser.add_argument(
+        "--scenario",
+        # heavy_domain holds item ids, not Boolean states; the service's
+        # dyadic-tree fold only accepts the Boolean scenarios.
+        choices=sorted(set(SCENARIOS) - {"heavy_domain"}),
+        default=None,
+        help="named scenario preset; unset -> a bounded-change population "
+        "from --n/--d/--k/--epsilon",
+    )
+    serve_parser.add_argument(
+        "--n", type=_positive_int, default=None,
+        help="users (default 20000, or the scenario preset)",
+    )
+    serve_parser.add_argument(
+        "--d", type=_positive_int, default=None,
+        help="periods (default 256, or the scenario preset)",
+    )
+    serve_parser.add_argument(
+        "--k", type=_positive_int, default=None,
+        help="change budget (default 4, or the scenario preset)",
+    )
+    serve_parser.add_argument(
+        "--epsilon", type=float, default=None,
+        help="privacy budget (default 1.0, or the scenario preset)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--traffic", choices=sorted(TRAFFIC_MODELS), default=None,
+        help="traffic-model preset (default: the scenario's own model, or "
+        "'uniform' fault-free delivery)",
+    )
+    serve_parser.add_argument(
+        "--late-rate", type=float, default=None,
+        help="override the model's straggler rate",
+    )
+    serve_parser.add_argument(
+        "--duplicate-rate", type=float, default=None,
+        help="override the model's retransmit-duplicate rate",
+    )
+    serve_parser.add_argument(
+        "--drop-rate", type=float, default=None,
+        help="override the model's outright-loss rate",
+    )
+    serve_parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for block randomization; any count is "
+        "bit-identical to serial",
+    )
+    serve_parser.add_argument(
+        "--no-dedup", action="store_true",
+        help="fold retransmit duplicates instead of discarding them at the "
+        "deduplication seam (fault-impact studies)",
+    )
+    serve_parser.add_argument(
+        "--progress", type=int, default=32,
+        help="print a live estimate line every N closed periods "
+        "(0 = summary only)",
     )
 
     results_parser = subparsers.add_parser(
@@ -770,8 +844,10 @@ def _command_bench(
         HEADLINE_SPEEDUP_FLOOR,
         format_bench_table,
         format_protocol_bench_table,
+        format_service_bench_table,
         run_kernel_bench,
         run_protocol_bench,
+        run_service_bench,
         write_bench_report,
     )
     from repro.sim.parallel import default_workers
@@ -783,6 +859,29 @@ def _command_bench(
         path = write_bench_report(payload, out)
         print(format_protocol_bench_table(payload))
         print(f"(wrote {path})")
+        return 0
+
+    if mode == "service":
+        if out == "BENCH_kernels.json":  # the --out default; retarget per mode
+            out = "BENCH_service.json"
+        payload = run_service_bench(scale=scale, seed=seed)
+        path = write_bench_report(payload, out)
+        print(format_service_bench_table(payload))
+        print(f"(wrote {path})")
+        if not payload["all_bit_identical"]:
+            print(
+                "error: service estimates differ across worker counts "
+                "(sharding contract violated)",
+                file=sys.stderr,
+            )
+            return 1
+        if not payload["all_within_radius"]:
+            print(
+                "error: service error exceeded the fault-adjusted "
+                "conformance radius",
+                file=sys.stderr,
+            )
+            return 1
         return 0
 
     payload = run_kernel_bench(scale=scale, seed=seed)
@@ -824,6 +923,115 @@ def _command_bench(
         f"{HEADLINE_SPEEDUP_FLOOR:.1f}x)"
     )
     return 0
+
+
+def _command_serve_sim(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.conformance import (
+        fault_adjusted_radius,
+        protocol_radius,
+    )
+    from repro.core.params import ProtocolParams
+    from repro.sim.service import run_service
+    from repro.workloads.generators import BoundedChangePopulation
+    from repro.workloads.scenarios import SCENARIOS
+    from repro.workloads.traffic import TRAFFIC_MODELS
+
+    if args.scenario:
+        factory = SCENARIOS[args.scenario]
+        overrides = {
+            name: value
+            for name, value in (
+                ("n", args.n), ("d", args.d), ("k", args.k),
+                ("epsilon", args.epsilon),
+            )
+            if value is not None
+        }
+        scenario = factory(rng=np.random.default_rng(args.seed), **overrides)
+        workload = scenario.states
+        params = scenario.params
+        traffic = scenario.traffic
+        label = scenario.name
+    else:
+        params = ProtocolParams(
+            n=args.n if args.n is not None else 20_000,
+            d=args.d if args.d is not None else 256,
+            k=args.k if args.k is not None else 4,
+            epsilon=args.epsilon if args.epsilon is not None else 1.0,
+        )
+        # The Population path: workers sample their own seed blocks, so the
+        # full (n, d) matrix never materializes in one process.
+        workload = BoundedChangePopulation(params.d, params.k, exact_k=True)
+        traffic = None
+        label = "bounded_change"
+
+    if args.traffic is not None:
+        traffic = TRAFFIC_MODELS[args.traffic]
+    if traffic is None:
+        traffic = TRAFFIC_MODELS["uniform"]
+    traffic = traffic.with_rates(
+        late_rate=args.late_rate,
+        duplicate_rate=args.duplicate_rate,
+        drop_rate=args.drop_rate,
+    )
+
+    print(
+        f"serving {label}: n={params.n:,} d={params.d} k={params.k} "
+        f"epsilon={params.epsilon} traffic={traffic.name} "
+        f"workers={args.workers} dedup={'off' if args.no_dedup else 'on'}"
+    )
+    progress = max(0, args.progress)
+
+    def callback(snapshot) -> None:
+        if progress and (
+            snapshot.t % progress == 0 or snapshot.t == params.d
+        ):
+            print(
+                f"  t={snapshot.t:>4}  estimate={snapshot.estimate:>12.1f}  "
+                f"true={snapshot.true_count:>8}  "
+                f"reports={snapshot.reports_this_period}"
+            )
+
+    result = run_service(
+        workload,
+        params,
+        args.seed,
+        traffic=traffic,
+        workers=args.workers,
+        reject_duplicates=not args.no_dedup,
+        callback=callback if progress else None,
+    )
+
+    stats = result.stats
+    bound, _beta = protocol_radius("future_rand", params, result.c_gap)
+    radius = fault_adjusted_radius(
+        bound,
+        params,
+        drop_rate=stats.effective_drop_rate,
+        duplicate_rate=stats.effective_duplicate_rate,
+    )
+    max_abs_error = result.to_result().max_abs_error
+    print(
+        f"delivered {stats.delivered_messages:,}/{stats.total_messages:,} "
+        f"messages ({stats.delivered_reports:,} reports) in "
+        f"{result.elapsed_seconds:.2f}s "
+        f"({result.reports_per_second:,.0f} reports/s)"
+    )
+    print(
+        f"faults: dropped={stats.dropped_messages:,} "
+        f"late={stats.late_messages:,} "
+        f"duplicates={stats.duplicate_messages:,} "
+        f"(discarded {stats.duplicates_discarded:,}) "
+        f"skew-buffered={stats.skew_buffered:,} "
+        f"peak-queue={stats.peak_queue_depth}"
+    )
+    verdict = "within" if max_abs_error <= radius else "OUTSIDE"
+    print(
+        f"max |error| = {max_abs_error:.1f} — {verdict} the fault-adjusted "
+        f"conformance radius {radius:.1f}"
+    )
+    return 0 if max_abs_error <= radius else 1
 
 
 def _command_fuzz(args: argparse.Namespace) -> int:
@@ -1087,6 +1295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.chunk_size,
             args.kernel,
         )
+    if args.command == "serve-sim":
+        return _command_serve_sim(args)
     if args.command == "fuzz":
         return _command_fuzz(args)
     if args.command == "lint":

@@ -10,12 +10,18 @@ The scaling ``(1 + log2 d)`` inverts the order-sampling probability and
 ``c_gap^{-1}`` inverts the randomizer's signal attenuation (Observation 4.3).
 
 The server is *online*: ``estimate(t)`` only uses reports whose emission time
-``j * 2^h`` is at most the latest time advanced to.
+``j * 2^h`` is at most the latest time advanced to.  The clock gate is
+enforced unconditionally — a report arriving before the first ``advance_to``
+is rejected like any other future report, so a driver cannot accidentally
+pre-load the tree while the clock still reads 0.  Offline ingestion (batch
+replays that fold a finished run into the tree without simulating periods)
+must opt in explicitly with ``enforce_clock=False``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import math
+from typing import Hashable, Iterable, Optional
 
 import numpy as np
 
@@ -38,9 +44,29 @@ class Server:
     c_gap:
         The exact coordinate-preservation gap of the randomizer family the
         clients use.  Must be positive.
+    reject_duplicates:
+        Reject replayed ``(user, index)`` pairs on the scalar path and
+        replayed ``(source, order, index)`` aggregates on the batch path
+        (default).  Disable only for drivers that guarantee uniqueness
+        upstream.
+    enforce_clock:
+        Enforce the online clock gate unconditionally (default): any report
+        whose emission time exceeds the current clock is rejected, *including
+        while the clock is still at its initial 0* — a fresh server accepts
+        nothing until the first ``advance_to``.  ``False`` opts into offline
+        ingestion (replaying a finished run into the tree without a period
+        loop); estimates then reflect whatever has been folded, with no
+        online guarantee.
     """
 
-    def __init__(self, d: int, c_gap: float, *, reject_duplicates: bool = True) -> None:
+    def __init__(
+        self,
+        d: int,
+        c_gap: float,
+        *,
+        reject_duplicates: bool = True,
+        enforce_clock: bool = True,
+    ) -> None:
         self._d = check_power_of_two(d, "d")
         if not c_gap > 0:
             raise ValueError(f"c_gap must be positive, got {c_gap}")
@@ -53,7 +79,9 @@ class Server:
         # A malicious or buggy client replaying (user, index) pairs would
         # bias the aggregate; the server de-duplicates by default.
         self._reject_duplicates = bool(reject_duplicates)
+        self._enforce_clock = bool(enforce_clock)
         self._seen: set[tuple[int, int]] = set()
+        self._seen_aggregates: set[tuple[Hashable, int, int]] = set()
 
     @property
     def horizon(self) -> int:
@@ -114,11 +142,17 @@ class Server:
 
     def _check_emission(self, order: int, index: int) -> None:
         """Validate an ``I_{order, index}`` report slot against the horizon
-        and the online clock (shared by the scalar and batch ingestion paths)."""
+        and the online clock (shared by the scalar and batch ingestion paths).
+
+        The clock gate applies unconditionally when ``enforce_clock`` is set
+        (the default) — in particular at the initial ``_time == 0``, where a
+        historical bypass silently accepted reports for *any* future period
+        before the first ``advance_to``.
+        """
         emission_time = index << order
         if emission_time > self._d:
             raise ValueError(f"report index {index} exceeds the horizon")
-        if self._time and emission_time > self._time:
+        if self._enforce_clock and emission_time > self._time:
             raise ValueError(
                 f"report for time {emission_time} arrived while the clock is at "
                 f"{self._time}; advance_to({emission_time}) first"
@@ -176,8 +210,10 @@ class Server:
         ``I_{order, index}``, and the whole batch is accumulated into the tree
         with a single addition.  The online clock semantics of :meth:`receive`
         apply unchanged; per-user registration/duplicate bookkeeping is the
-        caller's responsibility (the batch engine tracks orders as an array).
-        Returns the number of reports ingested.
+        caller's responsibility (the batch engine tracks orders as an array;
+        drivers that need server-side replay protection deliver through
+        :meth:`receive_aggregate` with a ``source`` id instead).  Returns the
+        number of reports ingested.
         """
         max_order = self._d.bit_length() - 1
         if not 0 <= order <= max_order:
@@ -195,16 +231,30 @@ class Server:
         return int(array.size)
 
     def receive_aggregate(
-        self, order: int, index: int, total: float, count: int
+        self,
+        order: int,
+        index: int,
+        total: float,
+        count: int,
+        *,
+        source: Optional[Hashable] = None,
     ) -> int:
         """Ingest ``count`` pre-summed ``{-1, +1}`` reports for one interval.
 
-        The chunked engine's ingestion path: per-node report sums are folded
-        across user chunks *before* the online period loop, so the server
-        receives one aggregate per dyadic node instead of a column of
-        individual bits.  ``total`` must be a feasible sum of ``count`` signs
-        (``|total| <= count`` with matching parity); the online clock
-        semantics of :meth:`receive` apply unchanged.  Returns ``count``.
+        The chunked engine's and the ingestion service's path: per-node
+        report sums are folded across user chunks/shards *before* delivery,
+        so the server receives one aggregate per dyadic node instead of a
+        column of individual bits.  ``total`` must be a feasible sum of
+        ``count`` signs (``|total| <= count`` with matching parity) —
+        validated in exact integer arithmetic, so non-integral totals are
+        rejected rather than coerced and parity survives beyond 2^53.  The
+        online clock semantics of :meth:`receive` apply unchanged.
+
+        ``source`` is the deduplication seam for shard-aggregate retransmits:
+        when given, the ``(source, order, index)`` triple is remembered and a
+        second delivery raises (under ``reject_duplicates``), mirroring the
+        scalar path's ``(user, index)`` bookkeeping.  ``None`` (the default)
+        keeps the historical caller-managed contract.  Returns ``count``.
         """
         max_order = self._d.bit_length() - 1
         if not 0 <= order <= max_order:
@@ -214,14 +264,32 @@ class Server:
         count = int(count)
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        total = float(total)
-        if abs(total) > count or (total - count) % 2:
+        if isinstance(total, (int, np.integer)):
+            exact_total = int(total)
+        else:
+            value = float(total)
+            if not math.isfinite(value) or not value.is_integer():
+                raise ValueError(
+                    f"total={total!r} is not a feasible sum of {count} "
+                    "+-1 reports (must be a finite integer)"
+                )
+            exact_total = int(value)
+        if abs(exact_total) > count or (exact_total - count) % 2:
             raise ValueError(
                 f"total={total} is not a feasible sum of {count} +-1 reports"
             )
         self._check_emission(order, index)
+        if source is not None and self._reject_duplicates:
+            key = (source, order, index)
+            if key in self._seen_aggregates:
+                raise ValueError(
+                    f"duplicate aggregate from source {source!r} for interval "
+                    f"I_({order}, {index}); replayed aggregates would bias "
+                    "the estimate"
+                )
+            self._seen_aggregates.add(key)
         if count:
-            self._tree.add(DyadicInterval(order, index), total)
+            self._tree.add(DyadicInterval(order, index), float(exact_total))
             self._reports_received += count
         return count
 

@@ -30,10 +30,12 @@ from repro.fuzz.corpus import (
     replay_entry,
 )
 from repro.fuzz.engine import (
+    FAULT_CAPABLE_TARGETS,
     FUZZ_TARGETS,
     EvaluationRecord,
     FuzzOutcome,
     run_fuzz,
+    target_protocol,
 )
 from repro.fuzz.genome import (
     GENERATORS,
@@ -46,6 +48,7 @@ from repro.fuzz.genome import (
 )
 
 __all__ = [
+    "FAULT_CAPABLE_TARGETS",
     "FUZZ_TARGETS",
     "GENERATORS",
     "CorpusEntry",
@@ -62,4 +65,5 @@ __all__ = [
     "register_corpus",
     "replay_entry",
     "run_fuzz",
+    "target_protocol",
 ]

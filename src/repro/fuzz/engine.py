@@ -57,12 +57,15 @@ __all__ = [
     "evaluation_seed_nodes",
     "normalize_genome",
     "run_fuzz",
+    "target_protocol",
 ]
 
-#: Boolean-domain registry protocols the fuzzer targets.  The item-domain
-#: protocols consume Boolean sub-streams through a reduction the workload
-#: generators do not speak, and ``future_rand_object`` is the O(n*d) object
-#: reference — far too slow for an evolutionary inner loop.
+#: Boolean-domain registry protocols the fuzzer targets (plus ``service``,
+#: the asyncio ingestion front end — not a registry protocol, but the same
+#: estimator behind a faulty delivery layer).  The item-domain protocols
+#: consume Boolean sub-streams through a reduction the workload generators
+#: do not speak, and ``future_rand_object`` is the O(n*d) object reference —
+#: far too slow for an evolutionary inner loop.
 FUZZ_TARGETS = (
     "future_rand",
     "bun_composed",
@@ -72,12 +75,27 @@ FUZZ_TARGETS = (
     "memoization",
     "offline_tree",
     "central_tree",
+    "service",
 )
 
 #: Targets whose runner executes the unreliable-delivery fault schedule.
 #: For every other target the fault genes are normalized to zero before
 #: evaluation, so a corpus entry never advertises faults it did not run.
-FAULT_CAPABLE_TARGETS = ("future_rand",)
+#: ``service`` runs the faults through the delivery layer itself — a
+#: genome's drop/duplicate rates become a TrafficModel, and deduplication
+#: is disabled so retransmit duplicates genuinely double-count.
+FAULT_CAPABLE_TARGETS = ("future_rand", "service")
+
+#: Non-registry targets scored against a registry protocol's ``c_gap`` and
+#: conformance-radius shape.  ``RADIUS_BY_PROTOCOL``'s key set is pinned to
+#: the registry by a meta-test, so aliases resolve here instead of adding
+#: protocol-less keys there.
+_TARGET_PROTOCOL_ALIASES = {"service": "future_rand"}
+
+
+def target_protocol(target: str) -> str:
+    """The registry protocol a fuzz target is scored as."""
+    return _TARGET_PROTOCOL_ALIASES.get(target, target)
 
 # SeedSequence spawn-key stream tags (first component of every spawn key).
 _STREAM_WORKLOAD = 0
@@ -142,9 +160,23 @@ def build_runner(
     ``future_rand`` with faults or a kernel override binds
     :func:`~repro.sim.batch_engine.run_batch_engine` through a picklable
     partial (the engine's default family at these parameters *is* the
-    registry adapter's); every other case resolves the registry singleton,
-    optionally re-bound with the kernel for kernel-capable protocols.
+    registry adapter's); ``service`` binds the asyncio ingestion pipeline
+    with the genome's fault rates as its traffic model; every other case
+    resolves the registry singleton, optionally re-bound with the kernel
+    for kernel-capable protocols.
     """
+    if target == "service":
+        from repro.workloads.traffic import TrafficModel
+
+        return functools.partial(
+            _run_service_trial,
+            traffic=TrafficModel(
+                name="fuzz",
+                drop_rate=genome.drop_rate,
+                duplicate_rate=genome.duplicate_rate,
+            ),
+            kernel=kernel,
+        )
     if target == "future_rand":
         kwargs: dict = {}
         if genome.drop_rate:
@@ -164,6 +196,25 @@ def build_runner(
             )
         return functools.partial(protocol.run, kernel=kernel)
     return protocol
+
+
+def _run_service_trial(states, params, rng, *, traffic, kernel=None):
+    """Picklable ``service`` trial runner (module-level for worker transport).
+
+    Deduplication is off so the genome's retransmit duplicates actually
+    double-count — the fault-adjusted envelope assumes the bias happens,
+    and a dedup'd run would score faults it silently absorbed.
+    """
+    from repro.sim.service import run_service
+
+    return run_service(
+        states,
+        params,
+        rng,
+        traffic=traffic,
+        kernel=kernel,
+        reject_duplicates=False,
+    ).to_result()
 
 
 def evaluation_seed_nodes(
@@ -192,7 +243,9 @@ def _score(
     c_gap: float,
 ) -> tuple[float, float, float, float, float]:
     """``(fitness, observed, radius, base_radius, per_trial_failure)``."""
-    base_radius, per_trial_failure = protocol_radius(target, params, c_gap)
+    base_radius, per_trial_failure = protocol_radius(
+        target_protocol(target), params, c_gap
+    )
     radius = fault_adjusted_radius(
         base_radius,
         params,
@@ -245,7 +298,7 @@ def run_fuzz(
             random_genome(np.random.default_rng(0), params.k), target
         ), kernel)
 
-    c_gap = get_protocol(target).c_gap(params)
+    c_gap = get_protocol(target_protocol(target)).c_gap(params)
     cache: dict[str, EvaluationRecord] = {}
     records: list[EvaluationRecord] = []
     evaluations = 0

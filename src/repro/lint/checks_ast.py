@@ -1,4 +1,4 @@
-"""The AST-driven determinism-contract rules (REP101–REP106, REP108).
+"""The AST-driven determinism-contract rules (REP101–REP106, REP108, REP109).
 
 Each rule is a small :class:`~repro.lint.rules.AstRule` subclass registered
 at import time; the engine feeds it exactly the node types it declares, once
@@ -15,6 +15,7 @@ from repro.lint.findings import Finding
 from repro.lint.rules import AstRule, ModuleContext, register_rule
 
 __all__ = [
+    "ClocklessIngestRule",
     "FrozenReferenceImportRule",
     "HashSeedTaintRule",
     "SeedArithmeticRule",
@@ -509,6 +510,71 @@ class FrozenReferenceImportRule(AstRule):
                     )
 
 
+class ClocklessIngestRule(AstRule):
+    """Server ingestion calls in a module that never advances the clock."""
+
+    id = "REP109"
+    slug = "clockless-ingest"
+    summary = (
+        "module calls Server receive/receive_batch/receive_aggregate but "
+        "never advance_to — ingestion is racing an unopened clock"
+    )
+    rationale = (
+        "The online contract is advance_to(t) *then* fold period t: the "
+        "estimate at t must only see reports with emission index << order "
+        "<= t.  A driver that ingests without ever advancing the clock "
+        "either worked only through the historical _time==0 bypass (fixed "
+        "in this repo) or is folding future reports into past estimates — "
+        "both silently void the accuracy guarantees the conformance radii "
+        "are pinned to."
+    )
+    hint = (
+        "call server.advance_to(t) before delivering period t's reports "
+        "(see repro.sim.batch_engine / repro.sim.service); offline "
+        "tree-building code must opt out explicitly with "
+        "Server(..., enforce_clock=False)"
+    )
+    #: The engine/service layers that drive a live Server; core/server.py
+    #: itself (receive_batch delegates to receive internally) stays out.
+    scope = ("src/repro/sim/", "src/repro/protocols/")
+    node_types: ClassVar[tuple[type, ...]] = (ast.Module,)
+
+    _INGEST = frozenset({"receive", "receive_batch", "receive_aggregate"})
+
+    def check(self, node: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+        first_ingest: Optional[ast.Call] = None
+        advances = False
+        opts_out = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            for keyword in sub.keywords:
+                if (
+                    keyword.arg == "enforce_clock"
+                    and isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False
+                ):
+                    opts_out = True
+            chain = _dotted_name(sub.func)
+            # Only attribute calls (``server.receive(...)``): a bare name is
+            # some local helper, not Server ingestion.
+            if chain is None or len(chain) < 2:
+                continue
+            if chain[-1] == "advance_to":
+                advances = True
+            elif chain[-1] in self._INGEST and first_ingest is None:
+                first_ingest = sub
+        if first_ingest is not None and not advances and not opts_out:
+            chain = _dotted_name(first_ingest.func)
+            callee = ".".join(chain) if chain else "receive"
+            yield self.finding(
+                ctx,
+                first_ingest,
+                f"{callee}() without any advance_to() in the module — the "
+                "online clock is never opened for the periods being folded",
+            )
+
+
 for _rule in (
     SeedlessRngRule(),
     SeedArithmeticRule(),
@@ -517,5 +583,6 @@ for _rule in (
     UnpicklableRunnerRule(),
     SetOrderRule(),
     FrozenReferenceImportRule(),
+    ClocklessIngestRule(),
 ):
     register_rule(_rule)

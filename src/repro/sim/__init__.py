@@ -8,6 +8,10 @@
   user driving a real ``Server`` period by period.
 * :mod:`repro.sim.batch_engine` — the *batch* engine: the same online event
   loop vectorized across the whole population.
+* :mod:`repro.sim.service` — the asyncio ingestion *service*: simulated
+  concurrent clients submitting out-of-order, late, duplicated and
+  clock-skewed messages through an event loop, sharded across worker
+  processes.
 
 Which engine to use
 -------------------
@@ -63,6 +67,24 @@ of :mod:`repro.kernels` — same output distribution (conformance-tested),
 several-fold less sampling time, different random stream.  Artifact keys
 record the kernel only when non-default, so existing stores keep resuming.
 
+The ingestion service
+---------------------
+
+:func:`repro.sim.service.run_service` is the production-shaped front end:
+instead of replaying a finished batch, simulated clients *submit messages*
+to an asyncio event loop under a :class:`~repro.workloads.traffic.
+TrafficModel` (arrival bursts, stragglers, retransmit duplicates, bounded
+clock skew).  The online :class:`~repro.core.server.Server` clock stays
+strictly enforced — early (skewed) messages are buffered until their
+interval closes, never folded ahead of time — retransmits are discarded at
+the deduplication seam, and live prefix/range estimates are served
+mid-stream with an explicit policy (``raise`` or ``clamp``) for periods
+that have not closed yet.  Block randomization shards across worker
+processes on the same seed-tree contract as everything else: any
+``workers`` count is bit-identical to serial.  ``repro serve-sim`` is the
+CLI front end; ``repro bench --mode service`` records sustained reports/sec
+into ``BENCH_service.json``.
+
 Scaling sweeps
 --------------
 
@@ -115,6 +137,14 @@ from repro.sim.runner import (
     run_trials,
     sweep,
 )
+from repro.sim.service import (
+    AggregateMessage,
+    IngestionService,
+    OpenIntervalError,
+    ServiceResult,
+    TrafficStats,
+    run_service,
+)
 from repro.sim.store import (
     ArtifactCorruptedError,
     ResultStore,
@@ -132,6 +162,12 @@ __all__ = [
     "run_chunked_population",
     "SimulationEngine",
     "StepSnapshot",
+    "AggregateMessage",
+    "IngestionService",
+    "OpenIntervalError",
+    "ServiceResult",
+    "TrafficStats",
+    "run_service",
     "ResultTable",
     "format_markdown_table",
     "ProtocolRunner",

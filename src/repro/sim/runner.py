@@ -121,6 +121,23 @@ def _prepare_runner(runner: Optional[ProtocolLike]) -> tuple[str, Callable]:
     return resolve_runner(runner)
 
 
+def _bound_duplicate_rate(runner: Callable) -> float:
+    """The ``report_duplicate_rate`` already bound onto ``runner``, if any.
+
+    Fuzz genomes and ad-hoc callers bind fault rates through
+    ``functools.partial`` chains over :func:`run_batch_engine`; walking the
+    chain here is what lets ``run_trials``/``sweep`` reject the
+    duplicate-rate/chunk-size conflict during pre-validation instead of
+    letting a worker process discover it mid-run.
+    """
+    while isinstance(runner, functools.partial):
+        rate = runner.keywords.get("report_duplicate_rate", 0.0)
+        if rate:
+            return float(rate)
+        runner = runner.func
+    return 0.0
+
+
 def _apply_execution_options(
     name: str,
     runner: Callable,
@@ -141,6 +158,15 @@ def _apply_execution_options(
     if chunk_size is not None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if _bound_duplicate_rate(runner):
+            # The chunked accumulator folds node sums and cannot replay
+            # per-report duplication; the engine raises the same conflict,
+            # but only once a worker actually constructs it — mid-sweep.
+            # Reject here, before any shard is planned or submitted.
+            raise ValueError(
+                "report_duplicate_rate requires the monolithic engine path "
+                "and cannot be combined with chunk_size; drop one of the two"
+            )
         if not getattr(runner, "supports_chunk_size", False):
             from repro.protocols.registry import PROTOCOLS
 

@@ -1,0 +1,723 @@
+"""Asyncio ingestion service: heavy simulated traffic, not batch replay.
+
+The batch engines replay a finished run period by period; this module is the
+"production half" of that story — a long-running aggregation *service* whose
+front end is an asyncio event loop.  Simulated concurrent clients submit
+messages that arrive out of order, late, duplicated, or early (clock skew,
+see :mod:`repro.workloads.traffic`); the service buffers what the online
+clock does not yet admit, discards retransmits through the deduplication
+seam, folds admissible aggregates into the dyadic tree via the hardened
+:meth:`repro.core.server.Server.receive_aggregate`, and serves live
+prefix/range estimates mid-stream with an explicit policy for intervals that
+have not closed yet.
+
+Pipeline
+--------
+1. **Shard** — users are split into the fixed seed blocks of
+   :func:`repro.utils.chunking.plan_row_blocks`; each block is sampled and
+   randomized by a worker process seeded from its own child of the root
+   ``SeedSequence`` (the :mod:`repro.sim.parallel` contract: sharding
+   changes *where* a block runs, never *what* it computes).  A block's
+   per-node report sums replicate the chunked accumulator's draw sequence
+   verbatim, so the service's randomness is block-for-block the
+   out-of-core pipeline's.
+2. **Schedule** — each block's aggregate messages get delivery times from
+   the traffic model, drawn from the *traffic* stream of the seed tree
+   (independent of worker count).
+3. **Serve** — an asyncio loop plays the horizon: per period, client tasks
+   submit their due messages through a bounded queue, the consumer routes
+   them (buffer / dedup / fold), and the period closes with a released
+   estimate.  Within a period, admissible messages are folded in canonical
+   ``(block, order, index, copy)`` order, which pins the float accumulation
+   order regardless of task interleaving.
+
+Together 1–3 make the whole run — estimates, counters, everything — a pure
+function of ``(workload, params, seed, traffic, block_rows)``: bit-identical
+at ``workers=1``, 2, or 4 (regression-tested).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.interfaces import RandomizerFamily
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolResult, default_family
+from repro.core.server import Server
+from repro.core.vectorized import (
+    family_randomizer,
+    group_partial_sums,
+    order_probabilities,
+    partition_rows_by_order,
+    validate_states,
+)
+from repro.sim.engine import StepSnapshot
+from repro.utils.chunking import DEFAULT_BLOCK_ROWS, plan_row_blocks
+from repro.utils.rng import SeedLike, as_seed_sequence
+from repro.workloads.generators import Population
+from repro.workloads.traffic import (
+    TRAFFIC_MODELS,
+    TrafficModel,
+    schedule_arrivals,
+)
+
+__all__ = [
+    "AggregateMessage",
+    "IngestionService",
+    "OpenIntervalError",
+    "ServiceResult",
+    "TrafficStats",
+    "run_service",
+]
+
+# Seed-tree stream tags: root.spawn(3) -> (workload, protocol, traffic).
+_STREAM_WORKLOAD = 0
+_STREAM_PROTOCOL = 1
+_STREAM_TRAFFIC = 2
+
+#: Submission-queue capacity.  Small enough that a burst actually exercises
+#: backpressure (producers block on ``put``), large enough that the consumer
+#: never deadlocks a single burst batch.
+_QUEUE_MAXSIZE = 1024
+
+
+class OpenIntervalError(ValueError):
+    """A mid-stream estimate was requested for a period not yet closed."""
+
+
+@dataclass(frozen=True)
+class AggregateMessage:
+    """One shard aggregate in flight: a block's report sum for one node.
+
+    ``message_id`` is the retransmit-stable identity — a duplicate copy
+    carries the *same* id, which is what the deduplication seam keys on.
+    ``copy`` distinguishes the original (0) from its retransmit (1) only
+    for canonical ordering and diagnostics.
+    """
+
+    message_id: tuple[int, int, int]  # (block, order, index)
+    order: int
+    index: int
+    total: float
+    count: int
+    emitted_at: int
+    copy: int = 0
+
+    @property
+    def sort_key(self) -> tuple[int, int, int, int]:
+        """Canonical intra-period fold order (pins float accumulation)."""
+        return (*self.message_id, self.copy)
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Delivery accounting for one service run."""
+
+    total_messages: int
+    delivered_messages: int
+    dropped_messages: int
+    late_messages: int
+    duplicate_messages: int
+    duplicates_discarded: int
+    skew_buffered: int
+    total_reports: int
+    delivered_reports: int
+    dropped_reports: int
+    duplicate_reports: int
+    peak_queue_depth: int
+
+    @property
+    def effective_drop_rate(self) -> float:
+        """Fraction of reports lost (drops + stragglers past the horizon)."""
+        if not self.total_reports:
+            return 0.0
+        return self.dropped_reports / self.total_reports
+
+    @property
+    def effective_duplicate_rate(self) -> float:
+        """Fraction of reports double-counted (0 when deduplication is on)."""
+        if not self.total_reports:
+            return 0.0
+        return self.duplicate_reports / self.total_reports
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """A completed service run: estimates plus delivery provenance."""
+
+    estimates: np.ndarray
+    true_counts: np.ndarray
+    c_gap: float
+    family_name: str
+    orders: np.ndarray
+    traffic: TrafficModel
+    stats: TrafficStats
+    workers: int
+    blocks: int
+    elapsed_seconds: float
+
+    @property
+    def reports_per_second(self) -> float:
+        """Sustained ingestion throughput (delivered reports / wall time)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.stats.delivered_reports / self.elapsed_seconds
+
+    def to_result(self) -> ProtocolResult:
+        """The :class:`ProtocolResult` view (conformance/analysis tooling)."""
+        return ProtocolResult(
+            estimates=self.estimates,
+            true_counts=self.true_counts.astype(np.float64),
+            c_gap=self.c_gap,
+            family_name=self.family_name,
+            orders=self.orders,
+        )
+
+
+@dataclass(frozen=True)
+class _BlockSpec:
+    """Everything one worker needs to randomize one seed block."""
+
+    block: int
+    start: int
+    stop: int
+    params: ProtocolParams
+    workload_child: np.random.SeedSequence
+    protocol_child: np.random.SeedSequence
+    population: Optional[Population] = None
+    states: Optional[np.ndarray] = None
+    family: Optional[RandomizerFamily] = None
+    kernel: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class _BlockAggregates:
+    """One block's randomized per-node sums (the worker's return value)."""
+
+    block: int
+    node_sums: list[np.ndarray]
+    node_counts: list[np.ndarray]
+    true_counts: np.ndarray
+    orders: np.ndarray
+
+
+def _randomize_service_block(spec: _BlockSpec) -> _BlockAggregates:
+    """Sample and randomize one seed block (module-level: pool-picklable).
+
+    The draw sequence — one ``choice`` for the orders, then one randomize
+    per non-empty order group ascending — replicates
+    :meth:`repro.sim.chunked.ChunkedTreeAccumulator._process_block`, so the
+    service's per-block aggregates are bit-identical to the out-of-core
+    pipeline's for the same block seed.
+    """
+    params = spec.params
+    d = params.d
+    rows = spec.stop - spec.start
+    if spec.states is not None:
+        matrix = np.asarray(spec.states)
+    else:
+        assert spec.population is not None
+        matrix = spec.population.sample(
+            rows, np.random.default_rng(spec.workload_child)
+        )
+    validate_states(matrix, params, rows=rows)
+    if matrix.dtype != np.int8:
+        matrix = matrix.astype(np.int8)
+
+    family = spec.family if spec.family is not None else default_family(params)
+    randomize = family_randomizer(family, spec.kernel)
+    num_orders = d.bit_length()
+    probabilities = order_probabilities(d, None)
+
+    rng = np.random.default_rng(spec.protocol_child)
+    orders = rng.choice(num_orders, size=rows, p=probabilities)
+    sort_index, _, boundaries = partition_rows_by_order(orders, num_orders)
+    node_sums = [
+        np.zeros(d >> order, dtype=np.float64) for order in range(num_orders)
+    ]
+    node_counts = [
+        np.zeros(d >> order, dtype=np.int64) for order in range(num_orders)
+    ]
+    for order in range(num_orders):
+        members = sort_index[boundaries[order] : boundaries[order + 1]]
+        if members.size == 0:
+            continue
+        partials = group_partial_sums(matrix[members], order)
+        reports = randomize(partials, rng)
+        node_sums[order] += reports.sum(axis=0)
+        node_counts[order] += members.size
+    return _BlockAggregates(
+        block=spec.block,
+        node_sums=node_sums,
+        node_counts=node_counts,
+        true_counts=matrix.sum(axis=0, dtype=np.int64),
+        orders=orders,
+    )
+
+
+def _block_messages(
+    aggregates: _BlockAggregates, d: int
+) -> tuple[list[AggregateMessage], np.ndarray]:
+    """A block's aggregate messages in canonical order, plus emission times."""
+    messages: list[AggregateMessage] = []
+    emitted: list[int] = []
+    for order, counts in enumerate(aggregates.node_counts):
+        occupied = np.flatnonzero(counts)
+        sums = aggregates.node_sums[order]
+        for position in occupied:
+            index = int(position) + 1
+            emission = index << order
+            messages.append(
+                AggregateMessage(
+                    message_id=(aggregates.block, order, index),
+                    order=order,
+                    index=index,
+                    total=float(sums[position]),
+                    count=int(counts[position]),
+                    emitted_at=emission,
+                )
+            )
+            emitted.append(emission)
+    return messages, np.asarray(emitted, dtype=np.int64)
+
+
+class IngestionService:
+    """The asyncio front end over one online :class:`Server`.
+
+    Messages enter through :meth:`submit` (a bounded queue — bursty
+    producers feel backpressure); a consumer task routes each message:
+    early arrivals are buffered until their interval closes, retransmits of
+    an already-seen ``message_id`` are discarded at the door, and everything
+    admissible is folded when :meth:`close_period` fires.  Folding happens
+    in canonical message order per period, so estimates do not depend on
+    task interleaving.
+
+    ``open_interval_policy`` governs mid-stream estimates for periods not
+    yet closed: ``"raise"`` (default) raises :class:`OpenIntervalError`,
+    ``"clamp"`` answers with the latest closed period's information
+    instead.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        c_gap: float,
+        *,
+        reject_duplicates: bool = True,
+        open_interval_policy: str = "raise",
+    ) -> None:
+        if open_interval_policy not in ("raise", "clamp"):
+            raise ValueError(
+                "open_interval_policy must be 'raise' or 'clamp', got "
+                f"{open_interval_policy!r}"
+            )
+        # The clock gate stays enforced: the service's whole job is online
+        # ingestion, and buffering (not bypassing) handles early arrivals.
+        self._server = Server(d, c_gap, reject_duplicates=reject_duplicates)
+        self._d = d
+        self._dedup = bool(reject_duplicates)
+        self._policy = open_interval_policy
+        self._queue: asyncio.Queue[AggregateMessage] = asyncio.Queue(
+            maxsize=_QUEUE_MAXSIZE
+        )
+        self._consumer: Optional[asyncio.Task] = None
+        self._current: list[AggregateMessage] = []
+        self._early: dict[int, list[AggregateMessage]] = {}
+        self._seen_ids: set[tuple[int, int, int]] = set()
+        self._released: list[float] = []
+        self.delivered_reports = 0
+        self.delivered_messages = 0
+        self.duplicates_discarded = 0
+        self.duplicate_reports = 0
+        self.skew_buffered = 0
+        self.peak_queue_depth = 0
+
+    @property
+    def server(self) -> Server:
+        """The live aggregator (inspectable mid-stream)."""
+        return self._server
+
+    @property
+    def closed_period(self) -> int:
+        """The latest period whose estimate has been released."""
+        return len(self._released)
+
+    @property
+    def released(self) -> list[float]:
+        """Per-period estimates released so far."""
+        return list(self._released)
+
+    # -- mid-stream queries ----------------------------------------------
+
+    def _resolve_period(self, t: int, what: str) -> int:
+        if not 1 <= t <= self._d:
+            raise ValueError(f"t must be in [1, {self._d}], got {t}")
+        if t <= self.closed_period:
+            return t
+        if self._policy == "raise":
+            raise OpenIntervalError(
+                f"{what} for period {t} requested but only "
+                f"{self.closed_period} periods have closed; retry later or "
+                "construct the service with open_interval_policy='clamp'"
+            )
+        if not self.closed_period:
+            raise OpenIntervalError(
+                f"{what} requested before any period closed; nothing to "
+                "clamp to yet"
+            )
+        return self.closed_period
+
+    def estimate(self, t: Optional[int] = None) -> float:
+        """Live prefix estimate ``a_hat[t]`` (default: latest closed period)."""
+        if t is None:
+            if not self.closed_period:
+                raise OpenIntervalError(
+                    "no period has closed yet; no estimate to serve"
+                )
+            return self._released[-1]
+        return self._server.estimate(self._resolve_period(t, "estimate"))
+
+    def range_estimate(self, left: int, right: int) -> float:
+        """Live net-change estimate over ``[left..right]`` (mid-stream)."""
+        if not 1 <= left <= right:
+            raise ValueError(
+                f"need 1 <= left <= right, got left={left}, right={right}"
+            )
+        resolved = self._resolve_period(right, "range estimate")
+        if left > resolved:
+            raise OpenIntervalError(
+                f"range [{left}..{right}] lies entirely beyond the "
+                f"{self.closed_period} closed periods"
+            )
+        return self._server.estimate_range_change(left, min(right, resolved))
+
+    # -- ingestion --------------------------------------------------------
+
+    async def submit(self, message: AggregateMessage) -> None:
+        """Accept one message from a client task (bounded-queue backpressure)."""
+        await self._queue.put(message)
+
+    def _start_consumer(self) -> None:
+        if self._consumer is None:
+            self._consumer = asyncio.ensure_future(self._consume())
+
+    async def _consume(self) -> None:
+        while True:
+            message = await self._queue.get()
+            depth = self._queue.qsize() + 1
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
+            self._route(message)
+            self._queue.task_done()
+
+    def _route(self, message: AggregateMessage) -> None:
+        if message.emitted_at > self._server.time:
+            # Clock-skewed (early) arrival: the online gate would reject it,
+            # so it waits in the buffer until its interval closes.
+            self._early.setdefault(message.emitted_at, []).append(message)
+            self.skew_buffered += 1
+            return
+        self._current.append(message)
+
+    def _fold(self, message: AggregateMessage) -> None:
+        if self._dedup and message.message_id in self._seen_ids:
+            self.duplicates_discarded += 1
+            return
+        if message.copy:
+            # A retransmit survived to the fold: only possible with the
+            # deduplication seam disabled — these reports double-count.
+            self.duplicate_reports += message.count
+        self._seen_ids.add(message.message_id)
+        delivered = self._server.receive_aggregate(
+            message.order,
+            message.index,
+            message.total,
+            message.count,
+            source=message.message_id,
+        )
+        self.delivered_messages += 1
+        self.delivered_reports += delivered
+
+    async def open_period(self, t: int) -> None:
+        """Advance the online clock to ``t`` (start accepting its intervals)."""
+        self._start_consumer()
+        self._server.advance_to(t)
+
+    async def close_period(self, t: int) -> float:
+        """Drain the queue, fold period ``t``'s admissible messages, release.
+
+        Returns the released estimate ``a_hat[t]``.  Messages are folded in
+        canonical ``(block, order, index, copy)`` order so the tree's float
+        accumulation is independent of producer interleaving.
+        """
+        if t != self.closed_period + 1:
+            raise ValueError(
+                f"periods close in order; expected {self.closed_period + 1}, "
+                f"got {t}"
+            )
+        await self._queue.join()
+        batch = self._current
+        self._current = []
+        batch.extend(self._early.pop(t, []))
+        for message in sorted(batch, key=lambda m: m.sort_key):
+            self._fold(message)
+        estimate = self._server.estimate(t)
+        self._released.append(estimate)
+        return estimate
+
+    async def shutdown(self) -> None:
+        """Stop the consumer task (idempotent)."""
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+
+
+async def _deliver(
+    service: IngestionService,
+    messages: Sequence[AggregateMessage],
+    burst: int,
+) -> None:
+    """One client task's deliveries for one period, in ``burst``-sized gulps."""
+    for position, message in enumerate(messages):
+        await service.submit(message)
+        if (position + 1) % burst == 0:
+            await asyncio.sleep(0)
+
+
+async def _serve(
+    service: IngestionService,
+    by_period: dict[int, list[list[AggregateMessage]]],
+    d: int,
+    burst: int,
+    callback: Optional[Callable[[StepSnapshot], None]],
+    true_counts: np.ndarray,
+) -> None:
+    """Play the horizon through the event loop, one gather per period."""
+    try:
+        for t in range(1, d + 1):
+            await service.open_period(t)
+            producers = [
+                _deliver(service, messages, burst)
+                for messages in by_period.get(t, [])
+                if messages
+            ]
+            if producers:
+                await asyncio.gather(*producers)
+            reports_before = service.delivered_reports
+            estimate = await service.close_period(t)
+            if callback is not None:
+                callback(
+                    StepSnapshot(
+                        t=t,
+                        estimate=estimate,
+                        true_count=int(true_counts[t - 1]),
+                        reports_this_period=(
+                            service.delivered_reports - reports_before
+                        ),
+                    )
+                )
+    finally:
+        await service.shutdown()
+
+
+def _plan_blocks(
+    workload: Union[np.ndarray, Population],
+    params: ProtocolParams,
+    workload_root: np.random.SeedSequence,
+    protocol_root: np.random.SeedSequence,
+    block_rows: int,
+    family: Optional[RandomizerFamily],
+    kernel: Optional[str],
+) -> list[_BlockSpec]:
+    blocks = plan_row_blocks(params.n, block_rows)
+    workload_children = workload_root.spawn(len(blocks))
+    protocol_children = protocol_root.spawn(len(blocks))
+    specs: list[_BlockSpec] = []
+    for index, (start, stop) in enumerate(blocks):
+        if isinstance(workload, np.ndarray):
+            states: Optional[np.ndarray] = workload[start:stop]
+            population: Optional[Population] = None
+        else:
+            states = None
+            population = workload
+        specs.append(
+            _BlockSpec(
+                block=index,
+                start=start,
+                stop=stop,
+                params=params,
+                workload_child=workload_children[index],
+                protocol_child=protocol_children[index],
+                population=population,
+                states=states,
+                family=family,
+                kernel=kernel,
+            )
+        )
+    return specs
+
+
+def _execute_blocks(
+    specs: Sequence[_BlockSpec], workers: int
+) -> Iterator[_BlockAggregates]:
+    """Randomize blocks, yielding results in block order at any worker count."""
+    if workers <= 1 or len(specs) <= 1:
+        for spec in specs:
+            yield _randomize_service_block(spec)
+        return
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        yield from pool.map(_randomize_service_block, specs)
+
+
+def run_service(
+    workload: Union[np.ndarray, Population],
+    params: ProtocolParams,
+    seed: SeedLike = None,
+    *,
+    traffic: Union[TrafficModel, str] = "uniform",
+    workers: int = 1,
+    block_rows: int = DEFAULT_BLOCK_ROWS,
+    family: Optional[RandomizerFamily] = None,
+    kernel: Optional[str] = None,
+    reject_duplicates: bool = True,
+    open_interval_policy: str = "raise",
+    callback: Optional[Callable[[StepSnapshot], None]] = None,
+) -> ServiceResult:
+    """Run the full ingestion pipeline: shard, schedule, serve.
+
+    ``workload`` is a :class:`~repro.workloads.generators.Population` (the
+    out-of-core path — workers sample their own blocks, the ``(n, d)``
+    matrix never exists in one process) or a pre-sampled states matrix.
+    ``traffic`` is a :class:`~repro.workloads.traffic.TrafficModel` or a
+    :data:`~repro.workloads.traffic.TRAFFIC_MODELS` preset name.  The root
+    ``seed`` spawns the workload, protocol, and traffic streams; the result
+    is bit-identical for any ``workers`` (the sharding contract) and, fault
+    -free, consumes no traffic randomness.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if isinstance(traffic, str):
+        try:
+            traffic = TRAFFIC_MODELS[traffic]
+        except KeyError:
+            known = ", ".join(sorted(TRAFFIC_MODELS))
+            raise ValueError(
+                f"unknown traffic model {traffic!r}; known: {known}"
+            ) from None
+    if isinstance(workload, np.ndarray):
+        validate_states(workload, params)
+
+    started = time.perf_counter()
+    d = params.d
+    root = as_seed_sequence(seed, reset_spawn_counter=True)
+    streams = root.spawn(3)
+    specs = _plan_blocks(
+        workload,
+        params,
+        streams[_STREAM_WORKLOAD],
+        streams[_STREAM_PROTOCOL],
+        block_rows,
+        family,
+        kernel,
+    )
+    traffic_children = streams[_STREAM_TRAFFIC].spawn(len(specs))
+
+    resolved_family = (
+        family if family is not None else default_family(params)
+    )
+
+    service = IngestionService(
+        d,
+        resolved_family.c_gap,
+        reject_duplicates=reject_duplicates,
+        open_interval_policy=open_interval_policy,
+    )
+    by_period: dict[int, list[list[AggregateMessage]]] = {}
+    true_counts = np.zeros(d, dtype=np.int64)
+    order_chunks: list[np.ndarray] = []
+    total_messages = delivered_plan = dropped_messages = 0
+    late_messages = duplicate_messages = 0
+    total_reports = dropped_reports = 0
+
+    for aggregates in _execute_blocks(specs, workers):
+        true_counts += aggregates.true_counts
+        order_chunks.append(aggregates.orders)
+        messages, emitted = _block_messages(aggregates, d)
+        schedule = schedule_arrivals(
+            emitted,
+            d,
+            traffic,
+            np.random.default_rng(traffic_children[aggregates.block]),
+        )
+        total_messages += len(messages)
+        delivered_plan += schedule.delivered
+        dropped_messages += schedule.dropped
+        late_messages += schedule.late
+        duplicate_messages += schedule.duplicates
+        block_periods: dict[int, list[AggregateMessage]] = {}
+        for position, message in enumerate(messages):
+            total_reports += message.count
+            submit_at = int(schedule.submit_period[position])
+            if submit_at == 0:
+                dropped_reports += message.count
+                continue
+            block_periods.setdefault(submit_at, []).append(message)
+            resend_at = int(schedule.retransmit_period[position])
+            if resend_at:
+                block_periods.setdefault(resend_at, []).append(
+                    AggregateMessage(
+                        message_id=message.message_id,
+                        order=message.order,
+                        index=message.index,
+                        total=message.total,
+                        count=message.count,
+                        emitted_at=message.emitted_at,
+                        copy=1,
+                    )
+                )
+        for period, period_messages in block_periods.items():
+            by_period.setdefault(period, []).append(period_messages)
+
+    burst = max(1, int(round(traffic.burst_factor)))
+    asyncio.run(
+        _serve(service, by_period, d, burst, callback, true_counts)
+    )
+    elapsed = time.perf_counter() - started
+
+    stats = TrafficStats(
+        total_messages=total_messages,
+        delivered_messages=service.delivered_messages,
+        dropped_messages=dropped_messages,
+        late_messages=late_messages,
+        duplicate_messages=duplicate_messages,
+        duplicates_discarded=service.duplicates_discarded,
+        skew_buffered=service.skew_buffered,
+        total_reports=total_reports,
+        delivered_reports=service.delivered_reports,
+        dropped_reports=dropped_reports,
+        duplicate_reports=service.duplicate_reports,
+        peak_queue_depth=service.peak_queue_depth,
+    )
+    estimates = np.asarray(service.released, dtype=np.float64)
+    return ServiceResult(
+        estimates=estimates,
+        true_counts=true_counts,
+        c_gap=resolved_family.c_gap,
+        family_name=resolved_family.name,
+        orders=np.concatenate(order_chunks),
+        traffic=traffic,
+        stats=stats,
+        workers=workers,
+        blocks=len(specs),
+        elapsed_seconds=elapsed,
+    )

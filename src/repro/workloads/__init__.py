@@ -14,7 +14,12 @@ introduction's motivating applications (frequently-visited URLs, telemetry):
 * :class:`ChurnPopulation` — users arriving/departing mid-horizon with
   per-user activity masks (fleet turnover; absent users hold 0).
 * :mod:`repro.workloads.scenarios` — named, documented scenario presets
-  (URL tracking, telemetry fleet, churn) in the :data:`SCENARIOS` registry.
+  (URL tracking, telemetry fleet, churn, flash crowd) in the
+  :data:`SCENARIOS` registry.
+* :mod:`repro.workloads.traffic` — delivery-layer traffic models (arrival
+  bursts, stragglers, retransmit duplicates, clock skew) in the
+  :data:`TRAFFIC_MODELS` registry, consumed by the asyncio ingestion
+  service (:mod:`repro.sim.service`).
 * :mod:`repro.workloads.streams` — online iteration helpers feeding state
   matrices to clients one period at a time.
 
@@ -40,10 +45,12 @@ from repro.workloads.scenarios import (
     SCENARIOS,
     Scenario,
     churn_scenario,
+    flash_crowd_scenario,
     telemetry_fleet_scenario,
     url_tracking_scenario,
 )
 from repro.workloads.streams import iterate_periods, population_counts
+from repro.workloads.traffic import TRAFFIC_MODELS, TrafficModel
 
 __all__ = [
     "Population",
@@ -56,7 +63,10 @@ __all__ = [
     "TrendPopulation",
     "Scenario",
     "SCENARIOS",
+    "TRAFFIC_MODELS",
+    "TrafficModel",
     "churn_scenario",
+    "flash_crowd_scenario",
     "telemetry_fleet_scenario",
     "url_tracking_scenario",
     "iterate_periods",

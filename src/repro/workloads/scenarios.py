@@ -21,9 +21,11 @@ from repro.workloads.generators import (
     ItemChangePopulation,
     TrendPopulation,
 )
+from repro.workloads.traffic import TrafficModel
 
 if TYPE_CHECKING:  # runtime import would be cyclic at package-init time
     from repro.protocols import ProtocolLike
+    from repro.sim.service import ServiceResult
 
 __all__ = [
     "Scenario",
@@ -31,6 +33,7 @@ __all__ = [
     "url_tracking_scenario",
     "telemetry_fleet_scenario",
     "churn_scenario",
+    "flash_crowd_scenario",
     "heavy_domain_scenario",
 ]
 
@@ -43,6 +46,13 @@ class Scenario:
     passes none — Boolean scenarios leave it unset (the engine-backed
     ``future_rand`` fast path); item-domain scenarios set it, because their
     ``states`` are item matrices that only item-domain protocols accept.
+
+    ``traffic`` is the scenario's delivery model — a first-class knob next
+    to the population itself: :meth:`serve` plays the scenario through the
+    asyncio ingestion service under that model (bursts, stragglers,
+    retransmit duplicates, clock skew; see
+    :mod:`repro.workloads.traffic`).  ``None`` means smooth fault-free
+    delivery.
     """
 
     name: str
@@ -50,6 +60,7 @@ class Scenario:
     params: ProtocolParams
     states: np.ndarray
     default_protocol: Optional["ProtocolLike"] = None
+    traffic: Optional[TrafficModel] = None
 
     @property
     def true_counts(self) -> np.ndarray:
@@ -134,6 +145,35 @@ class Scenario:
             workers=workers,
             store=store,
             resume=resume,
+        )
+
+    def serve(
+        self,
+        seed: Optional[int] = None,
+        *,
+        traffic: Optional[TrafficModel] = None,
+        workers: int = 1,
+        callback: Optional[Callable] = None,
+    ) -> "ServiceResult":
+        """Play the scenario through the asyncio ingestion service.
+
+        Delegates to :func:`repro.sim.service.run_service` on this
+        scenario's fixed population under its ``traffic`` model (override
+        with ``traffic=``); ``workers`` shards block randomization across
+        processes (bit-identical for any worker count).  Boolean scenarios
+        only — item-domain states are rejected by validation.  Returns a
+        :class:`repro.sim.service.ServiceResult`.
+        """
+        from repro.sim.service import run_service
+
+        model = traffic if traffic is not None else self.traffic
+        return run_service(
+            self.states,
+            self.params,
+            seed,
+            traffic=model if model is not None else "uniform",
+            workers=workers,
+            callback=callback,
         )
 
     def _run_streaming(self, name, runner, rng, callback):
@@ -249,6 +289,50 @@ def churn_scenario(
     )
 
 
+def flash_crowd_scenario(
+    n: int = 20_000,
+    d: int = 256,
+    k: int = 4,
+    epsilon: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Scenario:
+    """A viral adoption spike hammering the ingestion tier.
+
+    The population adopts along a spike curve (everyone piles in inside a
+    short window), and the *delivery layer* misbehaves exactly when load
+    peaks: arrivals clump into bursts, stragglers deliver periods late,
+    lost acks trigger retransmit duplicates, and skewed client clocks
+    submit reports before their interval closes.  This is the traffic-model
+    stress case the batch engines cannot express — play it with
+    :meth:`Scenario.serve`, which routes it through the asyncio ingestion
+    service (:func:`Scenario.run` still works and simply ignores the
+    delivery faults).
+    """
+    rng = as_generator(rng)
+    params = ProtocolParams(n=n, d=d, k=k, epsilon=epsilon)
+    population = TrendPopulation(d, k, curve="spike")
+    states = population.sample(n, rng)
+    return Scenario(
+        name="flash_crowd",
+        description=(
+            "A spike-curve adoption wave arrives through a misbehaving "
+            "delivery layer: bursty arrivals, 5% stragglers, 1% retransmit "
+            "duplicates, and bounded clock skew. Stresses the ingestion "
+            "service, not just the estimator."
+        ),
+        params=params,
+        states=states,
+        traffic=TrafficModel(
+            name="flash_crowd",
+            burst_factor=16.0,
+            late_rate=0.05,
+            duplicate_rate=0.01,
+            max_lateness=8,
+            max_skew=2,
+        ),
+    )
+
+
 def heavy_domain_scenario(
     n: int = 20_000,
     d: int = 64,
@@ -301,5 +385,6 @@ SCENARIOS = {
     "url_tracking": url_tracking_scenario,
     "telemetry_fleet": telemetry_fleet_scenario,
     "churn": churn_scenario,
+    "flash_crowd": flash_crowd_scenario,
     "heavy_domain": heavy_domain_scenario,
 }

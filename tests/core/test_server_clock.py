@@ -1,0 +1,168 @@
+"""Regression tests for the online-clock enforcement and aggregate validation.
+
+The historical ``Server._check_emission`` read ``if self._time and
+emission_time > self._time``, so a server whose clock was never advanced
+(``_time == 0``) accepted *every* report — the exact gap a driver that
+forgets ``advance_to`` falls into.  These tests pin the fix: the clock is
+enforced unconditionally, offline tree-building opts in explicitly with
+``enforce_clock=False``, and ``receive_aggregate`` validates totals by exact
+integer arithmetic (byte-stable for in-range callers, loud for NaN/inf and
+parity violations).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.client import Report
+from repro.core.server import Server
+
+
+class TestUnconditionalClock:
+    def test_receive_at_time_zero_is_rejected(self):
+        """The historical _time==0 bypass: a fresh server must reject reports."""
+        server = Server(8, c_gap=0.5)
+        server.register(0, 1)
+        with pytest.raises(ValueError, match="advance_to"):
+            server.receive(Report(0, order=1, index=1, bit=1))
+
+    def test_receive_batch_at_time_zero_is_rejected(self):
+        server = Server(8, c_gap=0.5)
+        with pytest.raises(ValueError, match="advance_to"):
+            server.receive_batch(0, 1, np.array([1, -1], dtype=np.int8))
+
+    def test_receive_aggregate_at_time_zero_is_rejected(self):
+        server = Server(8, c_gap=0.5)
+        with pytest.raises(ValueError, match="advance_to"):
+            server.receive_aggregate(0, 1, total=2, count=4)
+
+    def test_reports_accepted_once_clock_is_opened(self):
+        server = Server(8, c_gap=0.5)
+        server.register(0, 1)
+        server.advance_to(2)
+        assert server.receive(Report(0, order=1, index=1, bit=1)) is None
+
+    def test_enforce_clock_false_opts_out(self):
+        """Offline tree-building accepts any emission time without advancing."""
+        server = Server(8, c_gap=0.5, enforce_clock=False)
+        server.register(0, 1)
+        server.receive(Report(0, order=1, index=4, bit=1))  # emitted at t=8
+        assert server.time == 0
+
+    def test_enforce_clock_false_still_checks_horizon(self):
+        server = Server(8, c_gap=0.5, enforce_clock=False)
+        with pytest.raises(ValueError):
+            server.receive_aggregate(0, 9, total=0, count=2)
+
+    def test_offline_and_online_agree_after_full_horizon(self):
+        """The opt-out changes admission timing, never the estimates."""
+        online = Server(4, c_gap=0.5)
+        offline = Server(4, c_gap=0.5, enforce_clock=False)
+        online.advance_to(4)
+        for index in range(1, 5):
+            online.receive_aggregate(0, index, total=3, count=5)
+            offline.receive_aggregate(0, index, total=3, count=5)
+        offline.advance_to(4)
+        assert np.array_equal(online.all_estimates(), offline.all_estimates())
+
+
+class TestReceiveAggregateValidation:
+    def _server(self, d: int = 8) -> Server:
+        server = Server(d, c_gap=0.5)
+        server.advance_to(d)
+        return server
+
+    def test_boundary_totals_accepted(self):
+        for total in (-4, -2, 0, 2, 4):
+            server = self._server()
+            server.receive_aggregate(0, 1, total=total, count=4)
+
+    def test_total_beyond_count_rejected(self):
+        server = self._server()
+        with pytest.raises(ValueError, match="not a feasible sum"):
+            server.receive_aggregate(0, 1, total=5, count=4)
+        with pytest.raises(ValueError, match="not a feasible sum"):
+            server.receive_aggregate(0, 1, total=-5, count=4)
+
+    def test_parity_violation_rejected(self):
+        """count=4 reports of +-1 can only sum to an even total."""
+        server = self._server()
+        with pytest.raises(ValueError, match="not a feasible sum"):
+            server.receive_aggregate(0, 1, total=3, count=4)
+
+    def test_non_integral_float_rejected(self):
+        server = self._server()
+        with pytest.raises(ValueError, match="finite integer"):
+            server.receive_aggregate(0, 1, total=1.5, count=4)
+
+    @pytest.mark.parametrize("total", [math.nan, math.inf, -math.inf])
+    def test_nan_and_inf_rejected(self, total):
+        server = self._server()
+        with pytest.raises(ValueError, match="finite integer"):
+            server.receive_aggregate(0, 1, total=total, count=4)
+
+    def test_large_integer_totals_validate_exactly(self):
+        """2^53-adjacent totals: exact integer arithmetic, no float parity lies.
+
+        float(2**53 + 1) == float(2**53), so the old float-based check would
+        have mis-validated parity here; the integer path keeps it exact.
+        """
+        count = 2**53 + 1
+        server = self._server()
+        server.receive_aggregate(0, 1, total=2**53 + 1, count=count)
+        server = self._server()
+        with pytest.raises(ValueError, match="not a feasible sum"):
+            server.receive_aggregate(0, 2, total=2**53, count=count)  # parity
+
+    def test_numpy_integer_and_integral_float_are_byte_stable(self):
+        """In-range callers get identical tree state whatever scalar type."""
+        variants = [2, np.int64(2), 2.0, np.float64(2.0)]
+        estimates = []
+        for total in variants:
+            server = self._server()
+            server.receive_aggregate(0, 1, total=total, count=4)
+            estimates.append(server.all_estimates())
+        for other in estimates[1:]:
+            assert np.array_equal(other, estimates[0])
+
+    def test_negative_count_rejected_and_zero_count_is_noop(self):
+        server = self._server()
+        with pytest.raises(ValueError, match="count"):
+            server.receive_aggregate(0, 1, total=0, count=-1)
+        assert server.receive_aggregate(0, 1, total=0, count=0) == 0
+        assert server.reports_received == 0
+
+
+class TestAggregateSourceDedup:
+    def test_duplicate_source_rejected(self):
+        server = Server(8, c_gap=0.5)
+        server.advance_to(8)
+        server.receive_aggregate(0, 1, total=2, count=4, source=("b", 0))
+        with pytest.raises(ValueError, match="duplicate aggregate"):
+            server.receive_aggregate(0, 1, total=2, count=4, source=("b", 0))
+
+    def test_distinct_sources_and_slots_accepted(self):
+        server = Server(8, c_gap=0.5)
+        server.advance_to(8)
+        server.receive_aggregate(0, 1, total=2, count=4, source=("b", 0))
+        server.receive_aggregate(0, 1, total=2, count=4, source=("b", 1))
+        server.receive_aggregate(0, 2, total=2, count=4, source=("b", 0))
+
+    def test_sourceless_calls_never_deduplicated(self):
+        server = Server(8, c_gap=0.5)
+        server.advance_to(8)
+        delivered = server.receive_aggregate(0, 1, total=2, count=4)
+        delivered += server.receive_aggregate(0, 1, total=2, count=4)
+        assert delivered == 8
+
+    def test_reject_duplicates_false_folds_both_copies(self):
+        dedup = Server(8, c_gap=0.5)
+        folding = Server(8, c_gap=0.5, reject_duplicates=False)
+        for server in (dedup, folding):
+            server.advance_to(8)
+            server.receive_aggregate(0, 1, total=4, count=4, source=("b", 0))
+        folding.receive_aggregate(0, 1, total=4, count=4, source=("b", 0))
+        assert folding.all_estimates()[0] > dedup.all_estimates()[0]

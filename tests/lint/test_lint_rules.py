@@ -123,6 +123,28 @@ FIXTURES = [
         "from . import fast\n",
         "from . import base\n",
     ),
+    (
+        "REP109",
+        "src/repro/sim/fixture.py",
+        "def drive(server, reports):\n"
+        "    for t, batch in enumerate(reports, start=1):\n"
+        "        server.receive_batch(0, t, batch)\n",
+        "def drive(server, reports):\n"
+        "    for t, batch in enumerate(reports, start=1):\n"
+        "        server.advance_to(t)\n"
+        "        server.receive_batch(0, t, batch)\n",
+    ),
+    (
+        "REP109",
+        "src/repro/protocols/fixture.py",
+        "def fold(server, order, index, total, count):\n"
+        "    return server.receive_aggregate(order, index, total, count)\n",
+        "def build(d, c_gap, aggregates):\n"
+        "    server = Server(d, c_gap, enforce_clock=False)\n"
+        "    for order, index, total, count in aggregates:\n"
+        "        server.receive_aggregate(order, index, total, count)\n"
+        "    return server\n",
+    ),
 ]
 
 

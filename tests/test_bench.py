@@ -15,10 +15,13 @@ from repro.bench import (
     bench_rng as _bench_rng,
     format_bench_table,
     format_protocol_bench_table,
+    format_service_bench_table,
     headline_speedup,
     protocol_bench_grid as _protocol_bench_grid,
     run_kernel_bench,
     run_protocol_bench,
+    run_service_bench,
+    service_bench_grid as _service_bench_grid,
     sparse_sign_matrix,
     write_bench_report,
 )
@@ -176,6 +179,68 @@ class TestProtocolBench:
         monkeypatch.chdir(tmp_path)
         assert main(["bench", "--mode", "protocols", "--scale", "smoke"]) == 0
         assert (tmp_path / "BENCH_protocols.json").exists()
+        assert not (tmp_path / "BENCH_kernels.json").exists()
+
+
+class TestServiceBench:
+    def test_grid_scales(self):
+        assert _service_bench_grid("smoke")
+        full = _service_bench_grid("full")
+        assert full[0]["n"] == 100_000 and full[0]["workers"] == [1, 2, 4]
+        with pytest.raises(ValueError, match="scale"):
+            _service_bench_grid("huge")
+
+    def test_smoke_payload_pins_the_sharding_contract(self):
+        payload = run_service_bench(scale="smoke", seed=0)
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["benchmark"] == "service"
+        assert payload["seed_scheme"] == BENCH_SEED_SCHEME
+        assert payload["all_bit_identical"] is True
+        assert payload["all_within_radius"] is True
+        assert payload["headline_reports_per_second"] > 0
+        expected_rows = sum(
+            len(point["workers"]) for point in _service_bench_grid("smoke")
+        )
+        assert len(payload["results"]) == expected_rows
+        for row in payload["results"]:
+            assert row["traffic"] == "soak"
+            assert row["seconds"] > 0
+            assert row["delivered_reports"] > 0
+            assert row["max_abs_error"] <= row["fault_adjusted_radius"]
+            assert row["bit_identical"] is True
+
+    def test_same_seed_reproduces_every_deterministic_field(self):
+        first = run_service_bench(scale="smoke", seed=4)
+        second = run_service_bench(scale="smoke", seed=4)
+        deterministic = (
+            "workers", "delivered_reports", "dropped_reports",
+            "duplicates_discarded", "skew_buffered", "effective_drop_rate",
+            "effective_duplicate_rate", "max_abs_error", "blocks",
+        )
+        for row_a, row_b in zip(first["results"], second["results"]):
+            for field in deterministic:
+                assert row_a[field] == row_b[field], field
+
+    def test_format_table_reports_throughput_and_contract(self):
+        payload = run_service_bench(scale="smoke", seed=2)
+        text = format_service_bench_table(payload)
+        assert "reports/s" in text
+        assert "bit-identical at every worker count" in text
+        assert "headline sustained ingest" in text
+
+    def test_cli_mode_service_emits_json(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        assert main(
+            ["bench", "--mode", "service", "--scale", "smoke", "--out", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "service"
+        assert "sharding contract" in capsys.readouterr().out
+
+    def test_cli_mode_service_retargets_default_out(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--mode", "service", "--scale", "smoke"]) == 0
+        assert (tmp_path / "BENCH_service.json").exists()
         assert not (tmp_path / "BENCH_kernels.json").exists()
 
 

@@ -320,3 +320,55 @@ class TestItemDomainCli:
         ) == 0
         out = capsys.readouterr().out
         assert "streaming" in out and "item domain" in out
+
+
+class TestServeSim:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.scenario is None
+        assert args.traffic is None
+        assert args.workers == 1
+        assert args.no_dedup is False
+        assert args.n is None  # scenario presets win unless overridden
+
+    def test_population_path_smoke(self, capsys):
+        assert main(
+            ["serve-sim", "--n", "800", "--d", "16", "--k", "2",
+             "--traffic", "soak", "--progress", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving bounded_change" in out
+        assert "traffic=soak" in out
+        assert "within the fault-adjusted conformance radius" in out
+
+    def test_scenario_path_with_overrides(self, capsys):
+        assert main(
+            ["serve-sim", "--scenario", "flash_crowd", "--n", "1000",
+             "--d", "16", "--workers", "2", "--progress", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving flash_crowd" in out
+        assert "workers=2" in out
+
+    def test_rate_overrides_reach_the_traffic_model(self, capsys):
+        assert main(
+            ["serve-sim", "--n", "800", "--d", "16", "--k", "2",
+             "--duplicate-rate", "0.2", "--no-dedup", "--progress", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dedup=off" in out
+        assert "duplicate" in out
+
+    def test_unknown_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--scenario", "nope"])
+
+    def test_unknown_traffic_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--traffic", "nope"])
+
+    def test_heavy_domain_is_not_servable(self):
+        # heavy_domain states hold item ids, not ±1 reports; the parser
+        # never offers it.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--scenario", "heavy_domain"])

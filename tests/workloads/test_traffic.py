@@ -1,0 +1,188 @@
+"""Unit tests for the traffic models and the arrival scheduler."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.workloads.traffic import (
+    TRAFFIC_MODELS,
+    ArrivalSchedule,
+    TrafficModel,
+    schedule_arrivals,
+)
+
+
+class TestTrafficModel:
+    def test_defaults_are_fault_free(self):
+        model = TrafficModel()
+        assert not model.faulty
+        assert model.name == "uniform"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burst_factor": 0.5},
+            {"late_rate": -0.1},
+            {"late_rate": 1.0},
+            {"duplicate_rate": 1.5},
+            {"drop_rate": -0.01},
+            {"max_lateness": 0},
+            {"max_skew": -1},
+        ],
+        ids=lambda kwargs: next(iter(kwargs)),
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError, match=next(iter(kwargs))):
+            TrafficModel(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"late_rate": 0.1},
+            {"duplicate_rate": 0.1},
+            {"drop_rate": 0.1},
+            {"max_skew": 2},
+        ],
+        ids=lambda kwargs: next(iter(kwargs)),
+    )
+    def test_each_fault_knob_flips_faulty(self, kwargs):
+        assert TrafficModel(**kwargs).faulty
+
+    def test_burst_factor_alone_is_not_a_fault(self):
+        """Bursts change arrival pacing, never delivery correctness."""
+        assert not TrafficModel(burst_factor=8.0).faulty
+
+    def test_with_rates_overrides_only_what_is_given(self):
+        base = TrafficModel(name="soak", late_rate=0.05, duplicate_rate=0.01)
+        bumped = base.with_rates(drop_rate=0.1)
+        assert bumped.drop_rate == 0.1
+        assert bumped.late_rate == base.late_rate
+        assert bumped.duplicate_rate == base.duplicate_rate
+        assert bumped.name == base.name
+
+    def test_with_rates_without_overrides_is_identity(self):
+        base = TrafficModel(name="soak", late_rate=0.05)
+        assert base.with_rates() is base
+
+    def test_model_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TrafficModel().late_rate = 0.5
+
+
+class TestScheduleArrivals:
+    def _emitted(self, horizon: int = 16, size: int = 400) -> np.ndarray:
+        rng = np.random.default_rng(5)
+        return rng.integers(1, horizon + 1, size=size)
+
+    def test_fault_free_schedule_is_the_identity(self):
+        emitted = self._emitted()
+        schedule = schedule_arrivals(
+            emitted, 16, TrafficModel(), np.random.default_rng(0)
+        )
+        assert np.array_equal(schedule.fold_period, emitted)
+        assert np.array_equal(schedule.submit_period, emitted)
+        assert not schedule.retransmit_period.any()
+        assert schedule.dropped == schedule.late == schedule.duplicates == 0
+        assert schedule.skew_buffered == 0
+        assert schedule.delivered == emitted.size
+
+    def test_fault_free_schedule_consumes_no_randomness(self):
+        """Bit-compatibility: smooth traffic must not shift the rng stream."""
+        rng = np.random.default_rng(42)
+        untouched = np.random.default_rng(42)
+        schedule_arrivals(self._emitted(), 16, TrafficModel(), rng)
+        assert rng.bit_generator.state == untouched.bit_generator.state
+
+    def test_faulty_schedule_invariants(self):
+        emitted = self._emitted()
+        horizon = 16
+        traffic = TrafficModel(
+            name="stress",
+            late_rate=0.2,
+            duplicate_rate=0.2,
+            drop_rate=0.1,
+            max_lateness=4,
+            max_skew=3,
+        )
+        schedule = schedule_arrivals(
+            emitted, horizon, traffic, np.random.default_rng(9)
+        )
+        fold = schedule.fold_period
+        submit = schedule.submit_period
+        resend = schedule.retransmit_period
+        delivered = fold > 0
+        # Folds happen at or after emission, never past the horizon.
+        assert (fold[delivered] >= emitted[delivered]).all()
+        assert (fold <= horizon).all()
+        # Skewed submission precedes the fold but stays in [1, fold].
+        assert (submit[delivered] >= 1).all()
+        assert (submit[delivered] <= fold[delivered]).all()
+        assert (submit[~delivered] == 0).all()
+        # Retransmits only for delivered originals, strictly later.
+        assert (resend[~delivered] == 0).all()
+        resent = resend > 0
+        assert (resend[resent] > fold[resent]).all()
+        assert (resend <= horizon).all()
+        # Counters agree with the arrays.
+        assert schedule.dropped == int((~delivered).sum())
+        assert schedule.delivered == int(delivered.sum())
+        assert schedule.duplicates == int(resent.sum())
+        assert schedule.skew_buffered == int(
+            ((submit < fold) & delivered).sum()
+        )
+        assert schedule.late >= int((fold[delivered] > emitted[delivered]).sum())
+
+    def test_same_rng_same_schedule(self):
+        emitted = self._emitted()
+        traffic = TRAFFIC_MODELS["soak"]
+        first = schedule_arrivals(
+            emitted, 16, traffic, np.random.default_rng(77)
+        )
+        second = schedule_arrivals(
+            emitted, 16, traffic, np.random.default_rng(77)
+        )
+        for field in ("fold_period", "submit_period", "retransmit_period"):
+            assert np.array_equal(getattr(first, field), getattr(second, field))
+
+    def test_emitted_must_be_one_dimensional(self):
+        with pytest.raises(ValueError, match="1-D"):
+            schedule_arrivals(
+                np.ones((2, 3), dtype=np.int64),
+                16,
+                TrafficModel(),
+                np.random.default_rng(0),
+            )
+
+    def test_emitted_must_lie_within_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            schedule_arrivals(
+                np.array([1, 17]), 16, TrafficModel(), np.random.default_rng(0)
+            )
+
+    def test_empty_block_schedules_cleanly(self):
+        schedule = schedule_arrivals(
+            np.array([], dtype=np.int64),
+            16,
+            TRAFFIC_MODELS["soak"],
+            np.random.default_rng(0),
+        )
+        assert isinstance(schedule, ArrivalSchedule)
+        assert schedule.delivered == 0
+
+
+class TestRegistry:
+    def test_names_match_keys(self):
+        for key, model in TRAFFIC_MODELS.items():
+            assert model.name == key
+
+    def test_uniform_is_smooth_and_soak_is_faulty(self):
+        assert not TRAFFIC_MODELS["uniform"].faulty
+        assert TRAFFIC_MODELS["soak"].faulty
+        # The acceptance workload stresses all three delivery seams.
+        soak = TRAFFIC_MODELS["soak"]
+        assert soak.burst_factor > 1
+        assert soak.late_rate > 0
+        assert soak.duplicate_rate > 0
