@@ -404,19 +404,67 @@ def service_bench_grid(scale: str = "quick") -> list[dict]:
             {
                 "n": 2_000, "d": 64, "k": 4, "epsilon": 1.0,
                 "traffic": "soak", "workers": [1, 2],
-            }
+            },
+            {
+                "n": 2_000, "d": 64, "k": 4, "epsilon": 1.0,
+                "traffic": "soak", "workers": [1, 2],
+                "faults": [None, "chaos"], "block_rows": 256,
+            },
         ]
     if scale == "quick":
         return [
             {
                 "n": 20_000, "d": 256, "k": 4, "epsilon": 1.0,
                 "traffic": "soak", "workers": [1, 2],
-            }
+            },
+            {
+                "n": 20_000, "d": 256, "k": 4, "epsilon": 1.0,
+                "traffic": "soak", "workers": [1, 2],
+                "faults": [None, "chaos"], "block_rows": 2_048,
+            },
         ]
     return [
         {
             "n": 100_000, "d": 256, "k": 4, "epsilon": 1.0,
             "traffic": "soak", "workers": [1, 2, 4],
+        },
+        {
+            "n": 100_000, "d": 256, "k": 4, "epsilon": 1.0,
+            "traffic": "soak", "workers": [1, 2, 4],
+            "faults": [None, "chaos"], "block_rows": 8_192,
+        },
+    ]
+
+
+def chaos_bench_grid(scale: str = "quick") -> list[dict]:
+    """Return the chaos-matrix points for ``scale`` (``repro chaos``).
+
+    One point per scale, injecting each single-kind fault preset
+    (``crash`` / ``hang`` / ``corrupt``) plus the mixed ``chaos`` preset at
+    every listed worker count, after a fault-free baseline run.  Every
+    injected run must reproduce the baseline estimates bit for bit — the
+    recovery contract the nightly chaos lane gates on.
+    """
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    faults = [None, "crash", "hang", "corrupt", "chaos"]
+    # block_rows shards each run into ~8 supervised units, so the per-unit
+    # fault draws actually fire (one default-sized block would often dodge
+    # the whole schedule).
+    if scale == "smoke":
+        point = {"n": 2_000, "d": 64, "workers": [1, 2], "block_rows": 256}
+    elif scale == "quick":
+        point = {
+            "n": 20_000, "d": 256, "workers": [1, 2, 4], "block_rows": 2_048,
+        }
+    else:
+        point = {
+            "n": 100_000, "d": 256, "workers": [1, 2, 4], "block_rows": 8_192,
+        }
+    return [
+        {
+            **point, "k": 4, "epsilon": 1.0, "traffic": "soak",
+            "faults": faults,
         }
     ]
 
@@ -433,6 +481,39 @@ def run_service_bench(*, scale: str = "quick", seed: int = 0) -> dict:
     reproduce the single-process estimates bit for bit, recorded per row as
     ``bit_identical`` and payload-wide as ``all_bit_identical``.
     """
+    grid = service_bench_grid(scale)
+    results, all_bit_identical, headline_rate = _run_service_grid(grid, seed)
+    return _service_payload(
+        "service", scale, seed, results, all_bit_identical, headline_rate
+    )
+
+
+def run_chaos_bench(*, scale: str = "quick", seed: int = 0) -> dict:
+    """Run the chaos matrix (``repro chaos``); return the report payload.
+
+    Same row shape as :func:`run_service_bench`, but every point injects
+    the crash/hang/corrupt/chaos fault presets after its fault-free
+    baseline: the ``bit_identical`` column then certifies *recovery* —
+    supervised retries reproduced the exact fault-free released stream —
+    and ``within_radius`` certifies the fault-adjusted accuracy gate.
+    """
+    grid = chaos_bench_grid(scale)
+    results, all_bit_identical, headline_rate = _run_service_grid(grid, seed)
+    return _service_payload(
+        "chaos", scale, seed, results, all_bit_identical, headline_rate
+    )
+
+
+def _run_service_grid(
+    grid: list[dict], seed: int
+) -> tuple[list[dict], bool, Optional[float]]:
+    """Run every (point, fault model, worker count) row of a service grid.
+
+    The first run of each point (fault-free, lowest worker count) is the
+    point's baseline; every other row — higher worker counts *and* runs
+    under injected faults — must reproduce its estimates bit for bit
+    (``bit_identical``).
+    """
     from repro.analysis.conformance import (
         fault_adjusted_radius,
         protocol_radius,
@@ -441,8 +522,7 @@ def run_service_bench(*, scale: str = "quick", seed: int = 0) -> dict:
     from repro.sim.service import run_service
     from repro.workloads.generators import BoundedChangePopulation
 
-    grid = service_bench_grid(scale)
-    results = []
+    results: list[dict] = []
     all_bit_identical = True
     headline_rate: Optional[float] = None
     for point_index, point in enumerate(grid):
@@ -453,67 +533,103 @@ def run_service_bench(*, scale: str = "quick", seed: int = 0) -> dict:
             point["d"], point["k"], exact_k=True
         )
         # One seed-tree node per point (the v2 scheme); run_service spawns
-        # its workload/protocol/traffic streams beneath it, so every worker
-        # count at the point replays the identical run.
+        # its workload/protocol/traffic/fault streams beneath it, so every
+        # (workers, faults) cell at the point replays the identical run.
         root = np.random.SeedSequence(
             entropy=seed, spawn_key=(point_index, _STREAM_INPUT)
         )
         baseline: Optional[np.ndarray] = None
-        for workers in point["workers"]:
-            result = run_service(
-                population,
-                params,
-                root,
-                traffic=point["traffic"],
-                workers=workers,
-            )
-            if baseline is None:
-                baseline = result.estimates
-                bit_identical = True
-            else:
-                bit_identical = bool(
-                    np.array_equal(baseline, result.estimates)
+        extra = (
+            {"block_rows": point["block_rows"]} if "block_rows" in point else {}
+        )
+        for faults in point.get("faults", [None]):
+            for workers in point["workers"]:
+                result = run_service(
+                    population,
+                    params,
+                    root,
+                    traffic=point["traffic"],
+                    workers=workers,
+                    faults=faults,
+                    **extra,
                 )
-            all_bit_identical = all_bit_identical and bit_identical
-            bound, _beta = protocol_radius("future_rand", params, result.c_gap)
-            radius = fault_adjusted_radius(
-                bound,
-                params,
-                drop_rate=result.stats.effective_drop_rate,
-                duplicate_rate=result.stats.effective_duplicate_rate,
-            )
-            max_abs_error = result.to_result().max_abs_error
-            if workers == 1:
-                headline_rate = result.reports_per_second
-            results.append(
-                {
-                    "traffic": point["traffic"],
-                    "workers": workers,
-                    "n": point["n"],
-                    "d": point["d"],
-                    "k": point["k"],
-                    "epsilon": point["epsilon"],
-                    "seconds": result.elapsed_seconds,
-                    "reports_per_second": result.reports_per_second,
-                    "delivered_reports": result.stats.delivered_reports,
-                    "dropped_reports": result.stats.dropped_reports,
-                    "duplicates_discarded": result.stats.duplicates_discarded,
-                    "skew_buffered": result.stats.skew_buffered,
-                    "peak_queue_depth": result.stats.peak_queue_depth,
-                    "effective_drop_rate": result.stats.effective_drop_rate,
-                    "effective_duplicate_rate": (
-                        result.stats.effective_duplicate_rate
-                    ),
-                    "max_abs_error": max_abs_error,
-                    "fault_adjusted_radius": radius,
-                    "within_radius": bool(max_abs_error <= radius),
-                    "bit_identical": bit_identical,
-                    "blocks": result.blocks,
-                }
-            )
+                if baseline is None:
+                    baseline = result.estimates
+                    bit_identical = True
+                else:
+                    bit_identical = bool(
+                        np.array_equal(baseline, result.estimates)
+                    )
+                all_bit_identical = all_bit_identical and bit_identical
+                bound, _beta = protocol_radius(
+                    "future_rand", params, result.c_gap
+                )
+                radius = fault_adjusted_radius(
+                    bound,
+                    params,
+                    drop_rate=result.stats.effective_drop_rate,
+                    duplicate_rate=result.stats.effective_duplicate_rate,
+                )
+                max_abs_error = result.to_result().max_abs_error
+                if workers == 1 and faults is None:
+                    headline_rate = result.reports_per_second
+                report = result.fault_report or {}
+                results.append(
+                    {
+                        "traffic": point["traffic"],
+                        "faults": faults or "none",
+                        "workers": workers,
+                        "n": point["n"],
+                        "d": point["d"],
+                        "k": point["k"],
+                        "epsilon": point["epsilon"],
+                        "seconds": result.elapsed_seconds,
+                        "reports_per_second": result.reports_per_second,
+                        "delivered_reports": result.stats.delivered_reports,
+                        "dropped_reports": result.stats.dropped_reports,
+                        "duplicates_discarded": (
+                            result.stats.duplicates_discarded
+                        ),
+                        "skew_buffered": result.stats.skew_buffered,
+                        "peak_queue_depth": result.stats.peak_queue_depth,
+                        "effective_drop_rate": (
+                            result.stats.effective_drop_rate
+                        ),
+                        "effective_duplicate_rate": (
+                            result.stats.effective_duplicate_rate
+                        ),
+                        "max_abs_error": max_abs_error,
+                        "fault_adjusted_radius": radius,
+                        "within_radius": bool(max_abs_error <= radius),
+                        "bit_identical": bit_identical,
+                        "blocks": result.blocks,
+                        "degraded": result.degraded,
+                        "faults_recovered": int(
+                            report.get("crashes", 0)
+                            + report.get("hangs", 0)
+                            + report.get("timeouts", 0)
+                            + report.get("corrupt_payloads", 0)
+                        ),
+                        "retries": int(report.get("retries", 0)),
+                        "simulated_backoff_seconds": float(
+                            report.get("backoff_seconds", 0.0)
+                        ),
+                    }
+                )
+    return results, all_bit_identical, headline_rate
+
+
+def _service_payload(
+    benchmark: str,
+    scale: str,
+    seed: int,
+    results: list[dict],
+    all_bit_identical: bool,
+    headline_rate: Optional[float],
+) -> dict:
     return {
         "schema": BENCH_SCHEMA_VERSION,
-        "benchmark": "service",
+        "benchmark": benchmark,
         "scale": scale,
         "seed": seed,
         "seed_scheme": BENCH_SEED_SCHEME,
@@ -530,18 +646,24 @@ def run_service_bench(*, scale: str = "quick", seed: int = 0) -> dict:
 
 def format_service_bench_table(payload: dict) -> str:
     """Human-readable summary of a service-mode payload (printed by the CLI)."""
+    kind = (
+        "chaos recovery" if payload.get("benchmark") == "chaos"
+        else "ingestion service"
+    )
     lines = [
-        f"ingestion service trajectory "
+        f"{kind} trajectory "
         f"(scale={payload['scale']}, git={payload['git_sha'][:12]})",
-        f"{'traffic':<10} {'workers':>7} {'n':>8} {'d':>5} "
-        f"{'seconds':>8} {'reports/s':>12} {'max|err|':>10} {'radius':>10} "
-        f"{'ok':>3} {'bits':>5}",
+        f"{'traffic':<8} {'faults':<8} {'workers':>7} {'n':>8} {'d':>5} "
+        f"{'seconds':>8} {'reports/s':>12} {'recov':>5} {'max|err|':>10} "
+        f"{'radius':>10} {'ok':>3} {'bits':>5}",
     ]
     for row in payload["results"]:
         lines.append(
-            f"{row['traffic']:<10} {row['workers']:>7} {row['n']:>8,} "
+            f"{row['traffic']:<8} {row.get('faults', 'none'):<8} "
+            f"{row['workers']:>7} {row['n']:>8,} "
             f"{row['d']:>5} {row['seconds']:>8.3f} "
             f"{row['reports_per_second']:>12,.0f} "
+            f"{row.get('faults_recovered', 0):>5} "
             f"{row['max_abs_error']:>10.1f} "
             f"{row['fault_adjusted_radius']:>10.1f} "
             f"{'yes' if row['within_radius'] else 'NO':>3} "
@@ -552,10 +674,15 @@ def format_service_bench_table(payload: dict) -> str:
         lines.append(
             f"headline sustained ingest (workers=1): {headline:,.0f} reports/s"
         )
+    contract = (
+        "recovery contract: "
+        if payload.get("benchmark") == "chaos"
+        else "sharding contract: "
+    )
     lines.append(
-        "sharding contract: "
+        contract
         + (
-            "bit-identical at every worker count"
+            "bit-identical at every worker count and fault model"
             if payload.get("all_bit_identical")
             else "BIT-IDENTITY VIOLATION"
         )

@@ -16,6 +16,8 @@ Usage::
     repro bench --scale quick       # emit BENCH_kernels.json (perf trajectory)
     repro bench --mode service      # emit BENCH_service.json (ingest trajectory)
     repro serve-sim --scenario flash_crowd --workers 2   # asyncio ingestion
+    repro serve-sim --faults chaos --journal results/journal   # fault drill
+    repro chaos --scale smoke       # chaos recovery matrix (bit-identity gate)
     repro results show results/     # inspect persisted sweep artifacts
     repro results merge merged.json results/tables/*.json
     repro fuzz --protocol future_rand --budget 48   # evolve worst-case workloads
@@ -363,6 +365,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live estimate line every N closed periods "
         "(0 = summary only)",
     )
+
+    from repro.faults import FAULT_MODELS
+
+    serve_parser.add_argument(
+        "--faults", choices=sorted(FAULT_MODELS), default=None,
+        help="inject a deterministic fault model into block randomization "
+        "(schedule drawn from the run's seed tree); recovered runs are "
+        "bit-identical to fault-free ones",
+    )
+    serve_parser.add_argument(
+        "--journal", default=None,
+        help="write-ahead journal directory (e.g. results/journal); every "
+        "released estimate and periodic state snapshot is persisted so a "
+        "killed run can be resumed",
+    )
+    serve_parser.add_argument(
+        "--resume", action="store_true",
+        help="recover an existing --journal instead of refusing to "
+        "overwrite it; the resumed stream is bit-identical",
+    )
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run the chaos recovery matrix (crash/hang/corrupt/chaos fault "
+        "presets x worker counts) against the fault-free baseline; fails "
+        "on any bit-identity or fault-adjusted-radius violation and "
+        "emits the machine-readable chaos trajectory JSON",
+    )
+    chaos_parser.add_argument(
+        "--scale", choices=("smoke", "quick", "full"), default="quick",
+        help="smoke: tiny CI sanity matrix; quick: n=2e4/d=256 at workers "
+        "1/2/4 (default); full: the n=1e5 acceptance matrix",
+    )
+    chaos_parser.add_argument(
+        "--quick", action="store_const", const="quick", dest="scale",
+        help="shorthand for --scale quick",
+    )
+    chaos_parser.add_argument(
+        "--full", action="store_const", const="full", dest="scale",
+        help="shorthand for --scale full",
+    )
+    chaos_parser.add_argument(
+        "--out", default="BENCH_service.json",
+        help="output JSON path (default: BENCH_service.json)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
 
     results_parser = subparsers.add_parser(
         "results", help="inspect and merge persisted result artifacts"
@@ -993,17 +1041,51 @@ def _command_serve_sim(args: argparse.Namespace) -> int:
                 f"reports={snapshot.reports_this_period}"
             )
 
-    result = run_service(
-        workload,
-        params,
-        args.seed,
-        traffic=traffic,
-        workers=args.workers,
-        reject_duplicates=not args.no_dedup,
-        callback=callback if progress else None,
-    )
+    from repro.sim.journal import JournalError
+    from repro.sim.store import ArtifactCorruptedError
+
+    try:
+        result = run_service(
+            workload,
+            params,
+            args.seed,
+            traffic=traffic,
+            workers=args.workers,
+            reject_duplicates=not args.no_dedup,
+            callback=callback if progress else None,
+            faults=args.faults,
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except (JournalError, ArtifactCorruptedError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     stats = result.stats
+    if result.resumed_from:
+        print(
+            f"resumed from the journal at period {result.resumed_from} "
+            f"({params.d - result.resumed_from} periods replayed or served)"
+        )
+    if result.fault_report is not None:
+        report = result.fault_report
+        recovered = (
+            report["crashes"] + report["hangs"] + report["timeouts"]
+            + report["corrupt_payloads"]
+        )
+        print(
+            f"supervision: {recovered} fault(s) seen, "
+            f"{report['retries']} retried "
+            f"({report['backoff_seconds']:.1f}s simulated backoff, "
+            f"{report['pool_respawns']} pool respawn(s))"
+        )
+    if result.degraded:
+        blocks = ", ".join(str(b) for b in result.lost_blocks)
+        print(
+            f"DEGRADED: block(s) {blocks} permanently lost "
+            f"({stats.lost_users:,} users); loss folded into the "
+            "fault-adjusted radius"
+        )
     bound, _beta = protocol_radius("future_rand", params, result.c_gap)
     radius = fault_adjusted_radius(
         bound,
@@ -1032,6 +1114,34 @@ def _command_serve_sim(args: argparse.Namespace) -> int:
         f"conformance radius {radius:.1f}"
     )
     return 0 if max_abs_error <= radius else 1
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        format_service_bench_table,
+        run_chaos_bench,
+        write_bench_report,
+    )
+
+    payload = run_chaos_bench(scale=args.scale, seed=args.seed)
+    path = write_bench_report(payload, args.out)
+    print(format_service_bench_table(payload))
+    print(f"(wrote {path})")
+    if not payload["all_bit_identical"]:
+        print(
+            "error: a fault-injected run diverged from the fault-free "
+            "baseline (recovery contract violated)",
+            file=sys.stderr,
+        )
+        return 1
+    if not payload["all_within_radius"]:
+        print(
+            "error: service error exceeded the fault-adjusted conformance "
+            "radius",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _command_fuzz(args: argparse.Namespace) -> int:
@@ -1297,6 +1407,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     if args.command == "serve-sim":
         return _command_serve_sim(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     if args.command == "fuzz":
         return _command_fuzz(args)
     if args.command == "lint":

@@ -121,6 +121,11 @@ class Server:
         """Number of users that announced an order."""
         return len(self._orders)
 
+    @property
+    def seen_aggregates(self) -> frozenset:
+        """The aggregate-deduplication memory (journal snapshot seam)."""
+        return frozenset(self._seen_aggregates)
+
     def register(self, user_id: int, order: int) -> None:
         """Record a user's announced order ``h_u`` (Algorithm 2, line 1)."""
         max_order = self._d.bit_length() - 1
@@ -292,6 +297,71 @@ class Server:
             self._tree.add(DyadicInterval(order, index), float(exact_total))
             self._reports_received += count
         return count
+
+    def restore_aggregate_state(
+        self,
+        flat_values,
+        *,
+        time: int,
+        reports_received: int = 0,
+        seen_aggregates: Iterable[tuple] = (),
+    ) -> None:
+        """Restore journaled aggregate-path state onto a *fresh* server.
+
+        The ingestion service's write-ahead-journal recovery seam: adopt
+        the tree node sums (``flat_offsets`` layout, as produced by
+        :meth:`flat_node_values`), the online clock, the report counter,
+        and the aggregate-deduplication memory that a snapshot recorded.
+        Sources in ``seen_aggregates`` arrive as ``(source, order, index)``
+        rows whose components may be JSON lists; they are re-tupled so
+        membership checks match :meth:`receive_aggregate`'s keys exactly.
+        Node sums are *added* onto the zero tree, so a restored server is
+        bit-identical to one that folded the original aggregates.
+        """
+        if (
+            self._time
+            or self._reports_received
+            or self._orders
+            or self._seen
+            or self._seen_aggregates
+        ):
+            raise ValueError(
+                "restore_aggregate_state requires a fresh server (nothing "
+                "registered, ingested, or advanced yet)"
+            )
+        values = np.asarray(flat_values, dtype=np.float64)
+        expected = 2 * self._d - 1
+        if values.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} flat node values for d={self._d}, got "
+                f"shape {values.shape}"
+            )
+        if not 0 <= time <= self._d:
+            raise ValueError(f"time must be in [0, {self._d}], got {time}")
+        if reports_received < 0:
+            raise ValueError(
+                f"reports_received must be non-negative, got {reports_received}"
+            )
+        position = 0
+        for order in range(self._d.bit_length()):
+            width = self._d >> order
+            level = values[position : position + width]
+            for offset in np.flatnonzero(level):
+                self._tree.add(
+                    DyadicInterval(order, int(offset) + 1),
+                    float(level[offset]),
+                )
+            position += width
+        self._time = int(time)
+        self._reports_received = int(reports_received)
+        self._seen_aggregates = {
+            (
+                tuple(source) if isinstance(source, (list, tuple)) else source,
+                int(order),
+                int(index),
+            )
+            for source, order, index in seen_aggregates
+        }
 
     def partial_sum_estimate(self, interval: DyadicInterval) -> float:
         """Return ``S_hat(I_{h,j})`` (Algorithm 2, line 5)."""

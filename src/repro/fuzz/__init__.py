@@ -30,6 +30,7 @@ from repro.fuzz.corpus import (
     replay_entry,
 )
 from repro.fuzz.engine import (
+    CHAOS_CAPABLE_TARGETS,
     FAULT_CAPABLE_TARGETS,
     FUZZ_TARGETS,
     EvaluationRecord,
@@ -48,6 +49,7 @@ from repro.fuzz.genome import (
 )
 
 __all__ = [
+    "CHAOS_CAPABLE_TARGETS",
     "FAULT_CAPABLE_TARGETS",
     "FUZZ_TARGETS",
     "GENERATORS",

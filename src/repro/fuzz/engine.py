@@ -49,6 +49,7 @@ from repro.sim.batch_engine import run_batch_engine
 from repro.sim.parallel import ShardTask, encode_runner, execute_shards
 
 __all__ = [
+    "CHAOS_CAPABLE_TARGETS",
     "FAULT_CAPABLE_TARGETS",
     "FUZZ_TARGETS",
     "EvaluationRecord",
@@ -85,6 +86,16 @@ FUZZ_TARGETS = (
 #: genome's drop/duplicate rates become a TrafficModel, and deduplication
 #: is disabled so retransmit duplicates genuinely double-count.
 FAULT_CAPABLE_TARGETS = ("future_rand", "service")
+
+#: Targets that additionally execute the chaos genes (``crash_rate``/
+#: ``hang_rate``/``corrupt_rate``): the genome's execution-fault rates
+#: become a :class:`repro.faults.FaultModel` and block randomization runs
+#: under :func:`repro.faults.run_supervised` with the default retry policy.
+#: Supervised recovery is bit-identical to the fault-free run, so chaos
+#: genes stress the *machinery* while the score still measures the
+#: workload — and a corpus entry with chaos genes replays the same
+#: schedule, byte for byte.
+CHAOS_CAPABLE_TARGETS = ("service",)
 
 #: Non-registry targets scored against a registry protocol's ``c_gap`` and
 #: conformance-radius shape.  ``RADIUS_BY_PROTOCOL``'s key set is pinned to
@@ -146,9 +157,16 @@ class FuzzOutcome:
 
 
 def normalize_genome(genome: FuzzGenome, target: str) -> FuzzGenome:
-    """Zero the fault genes for targets that cannot execute them."""
-    if target in FAULT_CAPABLE_TARGETS:
+    """Zero the fault genes a target cannot execute.
+
+    Three tiers: chaos-capable targets keep every gene, fault-capable ones
+    keep the delivery genes but drop the chaos genes, and everything else
+    evaluates fault-free.
+    """
+    if target in CHAOS_CAPABLE_TARGETS:
         return genome
+    if target in FAULT_CAPABLE_TARGETS:
+        return genome.without_chaos()
     return genome.without_faults()
 
 
@@ -166,8 +184,17 @@ def build_runner(
     for kernel-capable protocols.
     """
     if target == "service":
+        from repro.faults import FaultModel
         from repro.workloads.traffic import TrafficModel
 
+        faults = None
+        if genome.has_chaos:
+            faults = FaultModel(
+                name="fuzz",
+                crash_rate=genome.crash_rate,
+                hang_rate=genome.hang_rate,
+                corrupt_rate=genome.corrupt_rate,
+            )
         return functools.partial(
             _run_service_trial,
             traffic=TrafficModel(
@@ -176,6 +203,7 @@ def build_runner(
                 duplicate_rate=genome.duplicate_rate,
             ),
             kernel=kernel,
+            faults=faults,
         )
     if target == "future_rand":
         kwargs: dict = {}
@@ -198,12 +226,16 @@ def build_runner(
     return protocol
 
 
-def _run_service_trial(states, params, rng, *, traffic, kernel=None):
+def _run_service_trial(states, params, rng, *, traffic, kernel=None, faults=None):
     """Picklable ``service`` trial runner (module-level for worker transport).
 
     Deduplication is off so the genome's retransmit duplicates actually
     double-count — the fault-adjusted envelope assumes the bias happens,
-    and a dedup'd run would score faults it silently absorbed.
+    and a dedup'd run would score faults it silently absorbed.  A chaos
+    genome's ``faults`` model runs block randomization under supervised
+    (transient, always-recovered) fault injection: the estimates stay
+    bit-identical to the fault-free run, so the score still measures the
+    workload while the recovery machinery takes the beating.
     """
     from repro.sim.service import run_service
 
@@ -214,6 +246,7 @@ def _run_service_trial(states, params, rng, *, traffic, kernel=None):
         traffic=traffic,
         kernel=kernel,
         reject_duplicates=False,
+        faults=faults,
     ).to_result()
 
 

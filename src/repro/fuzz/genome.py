@@ -52,6 +52,7 @@ from repro.workloads.generators import (
 
 __all__ = [
     "CHANGE_TIME_MODES",
+    "CHAOS_GENES",
     "GENERATORS",
     "GENOME_SCHEMA_VERSION",
     "MAX_FAULT_RATE",
@@ -65,7 +66,19 @@ __all__ = [
 
 #: Bump when the gene set changes; participates in every digest so corpus
 #: entries from an incompatible encoder are never silently re-decoded.
-GENOME_SCHEMA_VERSION = 1
+#: Schema 2 added the chaos genes (``crash_rate``/``hang_rate``/
+#: ``corrupt_rate``).  A genome whose chaos genes are all zero still emits
+#: the schema-1 payload, so every pre-chaos corpus entry keeps its digest
+#: and replays bit-identically.
+GENOME_SCHEMA_VERSION = 2
+
+#: The schema the pre-chaos corpus was written with (still decodable).
+_LEGACY_SCHEMA_VERSION = 1
+
+#: The execution-fault genes (worker crash / hang / corrupt payload), as
+#: opposed to the delivery-fault genes (drop / duplicate).  Only targets in
+#: :data:`repro.fuzz.engine.CHAOS_CAPABLE_TARGETS` execute them.
+CHAOS_GENES = ("crash_rate", "hang_rate", "corrupt_rate")
 
 #: Every base generator a genome may select.  ``churn`` needs ``k >= 2``
 #: (one toggle plus the departure drop) — :func:`generator_choices` filters.
@@ -116,6 +129,9 @@ class FuzzGenome:
     lifetime_frac: float  # churn mean lifetime as a horizon fraction, (0, 1]
     drop_rate: float  # report-drop fault probability, [0, MAX_FAULT_RATE]
     duplicate_rate: float  # report-duplicate fault probability, same range
+    crash_rate: float = 0.0  # worker-crash fault probability, same range
+    hang_rate: float = 0.0  # worker-hang fault probability, same range
+    corrupt_rate: float = 0.0  # payload-corruption probability, same range
 
     def __post_init__(self) -> None:
         if self.generator not in GENERATORS:
@@ -132,17 +148,27 @@ class FuzzGenome:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
-        for name in ("drop_rate", "duplicate_rate"):
+        for name in ("drop_rate", "duplicate_rate", *CHAOS_GENES):
             value = getattr(self, name)
             if not 0.0 <= value <= MAX_FAULT_RATE:
                 raise ValueError(
                     f"{name} must be in [0, {MAX_FAULT_RATE}], got {value}"
                 )
 
+    @property
+    def has_chaos(self) -> bool:
+        """Whether any execution-fault (chaos) gene is active."""
+        return any(getattr(self, name) for name in CHAOS_GENES)
+
     def to_payload(self) -> dict:
-        """Canonical JSON-stable view (the digest and corpus-key input)."""
-        return {
-            "schema": GENOME_SCHEMA_VERSION,
+        """Canonical JSON-stable view (the digest and corpus-key input).
+
+        A genome with no active chaos genes serializes as the legacy
+        schema-1 payload: the pre-chaos corpus entries keep their digests,
+        and a chaos-free genome is *identical* to its schema-1 ancestor.
+        """
+        payload = {
+            "schema": _LEGACY_SCHEMA_VERSION,
             "generator": self.generator,
             "flip_frac": self.flip_frac,
             "start_prob": self.start_prob,
@@ -153,6 +179,12 @@ class FuzzGenome:
             "drop_rate": self.drop_rate,
             "duplicate_rate": self.duplicate_rate,
         }
+        if self.has_chaos:
+            payload["schema"] = GENOME_SCHEMA_VERSION
+            payload["crash_rate"] = self.crash_rate
+            payload["hang_rate"] = self.hang_rate
+            payload["corrupt_rate"] = self.corrupt_rate
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "FuzzGenome":
@@ -160,12 +192,15 @@ class FuzzGenome:
         if not isinstance(payload, dict):
             raise ValueError(f"genome payload must be an object, got {payload!r}")
         schema = payload.get("schema")
-        if schema != GENOME_SCHEMA_VERSION:
+        if schema not in (_LEGACY_SCHEMA_VERSION, GENOME_SCHEMA_VERSION):
             raise ValueError(
-                f"genome schema {schema!r} is not the supported "
-                f"{GENOME_SCHEMA_VERSION}"
+                f"genome schema {schema!r} is not a supported version "
+                f"(accepted: {_LEGACY_SCHEMA_VERSION}, {GENOME_SCHEMA_VERSION})"
             )
         try:
+            chaos = {}
+            if schema == GENOME_SCHEMA_VERSION:
+                chaos = {name: float(payload[name]) for name in CHAOS_GENES}
             return cls(
                 generator=str(payload["generator"]),
                 flip_frac=float(payload["flip_frac"]),
@@ -176,6 +211,7 @@ class FuzzGenome:
                 lifetime_frac=float(payload["lifetime_frac"]),
                 drop_rate=float(payload["drop_rate"]),
                 duplicate_rate=float(payload["duplicate_rate"]),
+                **chaos,
             )
         except KeyError as error:
             raise ValueError(f"genome payload is missing gene {error}") from error
@@ -185,15 +221,32 @@ class FuzzGenome:
         return hashlib.sha256(canonical_json(self.to_payload()).encode()).hexdigest()
 
     def without_faults(self) -> "FuzzGenome":
-        """Copy with both fault genes zeroed.
+        """Copy with every fault gene — delivery *and* chaos — zeroed.
 
         The engine normalizes genomes this way for targets that run outside
         the fault-capable batched engine, so a corpus entry never advertises
         a fault schedule its protocol did not actually execute.
         """
-        if not self.drop_rate and not self.duplicate_rate:
+        if not self.drop_rate and not self.duplicate_rate and not self.has_chaos:
             return self
-        return replace(self, drop_rate=0.0, duplicate_rate=0.0)
+        return replace(
+            self,
+            drop_rate=0.0,
+            duplicate_rate=0.0,
+            crash_rate=0.0,
+            hang_rate=0.0,
+            corrupt_rate=0.0,
+        )
+
+    def without_chaos(self) -> "FuzzGenome":
+        """Copy with only the chaos genes zeroed (delivery faults kept).
+
+        The normalization for targets that execute the drop/duplicate
+        schedule but not supervised block randomization (``future_rand``).
+        """
+        if not self.has_chaos:
+            return self
+        return replace(self, crash_rate=0.0, hang_rate=0.0, corrupt_rate=0.0)
 
 
 def build_population(genome: FuzzGenome, d: int, k: int) -> Population:
@@ -251,7 +304,7 @@ def _draw_gene(name: str, rng: np.random.Generator, k: int):
         # Keep the scaled window/lifetime at least a twentieth of the
         # horizon so churn populations stay non-degenerate.
         return float(0.05 + 0.95 * rng.random())
-    if name in ("drop_rate", "duplicate_rate"):
+    if name in ("drop_rate", "duplicate_rate", *CHAOS_GENES):
         # Half the mass on "no fault": the fault-free protocol is the primary
         # object under test; faults are a stress axis, not the default.
         if rng.random() < 0.5:

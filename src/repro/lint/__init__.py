@@ -44,6 +44,17 @@ REP107    capability-metadata   every ``PROTOCOLS`` entry's
 REP108    frozen-reference      ``kernels/reference.py`` is the bit-identity
                                 contract (PR 5); it never imports from the
                                 optimized ``fast``/``alias`` backends
+REP109    clockless-ingest      online drivers open the clock
+                                (``advance_to(t)``) before folding period t;
+                                offline tree-builders opt out explicitly with
+                                ``enforce_clock=False`` (PR 9 clock
+                                enforcement)
+REP110    wallclock-backoff     retry/backoff loops run on the simulated
+                                clock (``repro.faults.SimulatedClock``), never
+                                ``time.sleep``/``time.monotonic`` — recovery
+                                schedules stay bit-identical and supervised
+                                runs add zero wallclock stalls (PR 10 fault
+                                tolerance)
 ========  ====================  =====================================================
 
 Architecture mirrors the repo's other registries (``PROTOCOLS``,

@@ -1,4 +1,4 @@
-"""The AST-driven determinism-contract rules (REP101–REP106, REP108, REP109).
+"""The AST-driven determinism-contract rules (REP101–REP106, REP108–REP110).
 
 Each rule is a small :class:`~repro.lint.rules.AstRule` subclass registered
 at import time; the engine feeds it exactly the node types it declares, once
@@ -23,6 +23,7 @@ __all__ = [
     "SetOrderRule",
     "UnpicklableRunnerRule",
     "WallClockEntropyRule",
+    "WallclockBackoffRule",
 ]
 
 #: The modules whose randomness must flow from the caller's seed tree.
@@ -575,6 +576,78 @@ class ClocklessIngestRule(AstRule):
             )
 
 
+class WallclockBackoffRule(AstRule):
+    """Wallclock sleeping or timing inside a loop body."""
+
+    id = "REP110"
+    slug = "wallclock-backoff"
+    summary = (
+        "time.sleep/time.monotonic (or a non-zero asyncio.sleep) inside a "
+        "loop — retry backoff is running on the wallclock"
+    )
+    rationale = (
+        "Retry and backoff loops in this repo run on a *simulated* clock "
+        "(see repro.faults.SimulatedClock): delays are accounted, never "
+        "slept, so supervised runs stay fast and the retried schedule is a "
+        "pure function of the seed tree.  A time.sleep in a retry loop "
+        "reintroduces real-time stalls, and time.monotonic-based deadlines "
+        "make the number of attempts depend on host load — both break the "
+        "bit-identical recovery contract the chaos suite pins."
+    )
+    hint = (
+        "account delays on repro.faults.SimulatedClock (RetryPolicy computes "
+        "them); for cooperative yields use asyncio.sleep(0), and measure "
+        "elapsed time with time.perf_counter outside retry decisions"
+    )
+    #: Everything under the package: the contract is repo-wide, not just the
+    #: seed-tree layers, because any wallclock backoff voids replayability.
+    scope = ("src/repro/",)
+    node_types: ClassVar[tuple[type, ...]] = (ast.Module,)
+
+    _WALLCLOCK = frozenset({("time", "sleep"), ("time", "monotonic")})
+
+    @staticmethod
+    def _sleeps_zero(call: ast.Call) -> bool:
+        if len(call.args) != 1 or call.keywords:
+            return False
+        arg = call.args[0]
+        return isinstance(arg, ast.Constant) and arg.value == 0
+
+    def check(self, node: ast.Module, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._scan(node, False, ctx)
+
+    def _scan(
+        self, node: ast.AST, in_loop: bool, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        if in_loop and isinstance(node, ast.Call):
+            chain = _dotted_name(node.func)
+            if chain is not None and len(chain) >= 2:
+                tail = (chain[-2], chain[-1])
+                dotted = ".".join(chain)
+                if tail in self._WALLCLOCK:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() inside a loop — backoff/deadlines must "
+                        "run on the simulated clock, not the wallclock",
+                    )
+                elif tail == ("asyncio", "sleep") and not self._sleeps_zero(
+                    node
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() with a non-zero delay inside a loop — "
+                        "yield with asyncio.sleep(0) and account the delay "
+                        "on the simulated clock",
+                    )
+        nested = in_loop or isinstance(
+            node, (ast.For, ast.AsyncFor, ast.While)
+        )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(child, nested, ctx)
+
+
 for _rule in (
     SeedlessRngRule(),
     SeedArithmeticRule(),
@@ -584,5 +657,6 @@ for _rule in (
     SetOrderRule(),
     FrozenReferenceImportRule(),
     ClocklessIngestRule(),
+    WallclockBackoffRule(),
 ):
     register_rule(_rule)

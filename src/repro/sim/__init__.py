@@ -12,6 +12,9 @@
   concurrent clients submitting out-of-order, late, duplicated and
   clock-skewed messages through an event loop, sharded across worker
   processes.
+* :mod:`repro.sim.journal` — the append-only write-ahead journal the
+  service persists its released estimates and state snapshots to
+  (checksummed records, torn-tail recovery).
 
 Which engine to use
 -------------------
@@ -84,6 +87,40 @@ processes on the same seed-tree contract as everything else: any
 ``workers`` count is bit-identical to serial.  ``repro serve-sim`` is the
 CLI front end; ``repro bench --mode service`` records sustained reports/sec
 into ``BENCH_service.json``.
+
+Fault tolerance: which knob for which failure
+---------------------------------------------
+
+Three independent knobs on :func:`~repro.sim.service.run_service` cover
+three failure classes — pick by what you are defending against:
+
+* ``workers=N`` + ``retry=RetryPolicy(...)`` defend against **transient
+  shard failures** (a worker process crashing, hanging past its timeout, or
+  returning a corrupt payload).  Supervision retries the shard with
+  simulated — never wallclock — backoff, respawns a broken process pool,
+  and preserves already-finished shards; because block randomness is a pure
+  function of seed-tree coordinates, the retried run stays bit-identical to
+  a fault-free one.  A shard that exhausts its retries is *degraded*, not
+  fatal: the service keeps serving, the loss is folded into
+  :class:`TrafficStats` and the fault-adjusted conformance radius, and the
+  result is marked ``degraded``.
+* ``journal="results/journal"`` defends against **whole-process death**
+  (kill -9, OOM, power loss).  Every released estimate is appended to a
+  checksummed write-ahead journal, with a full state snapshot every
+  ``snapshot_every`` periods.  ``resume=True`` restores the latest
+  snapshot, re-verifies the journaled tail against a replay (divergence
+  raises :class:`~repro.sim.journal.JournalError` — it never silently
+  serves someone else's journal), and serves the remaining periods; the
+  released stream is bit-identical to an uninterrupted run.
+* ``faults="chaos"`` (or any :data:`repro.faults.FAULT_MODELS` preset) is
+  the **drill**: deterministic, seed-derived fault injection to prove the
+  two mechanisms above actually hold.  ``repro chaos`` runs the full
+  preset-by-workers matrix and exits non-zero on any bit-identity or
+  radius violation.
+
+``resume=`` here recovers a *service journal* mid-stream; the sweep-level
+``resume=`` below reloads finished *result-store shards*.  Same word,
+different layer — they compose.
 
 Scaling sweeps
 --------------

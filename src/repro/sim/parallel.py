@@ -18,7 +18,16 @@ Runners cross the process boundary in one of two forms:
 
 ``execute_shards`` streams an ``on_complete`` callback as each shard finishes
 (in completion order), which is how interrupted sweeps persist the shards
-they *did* finish; results are still returned in submission order.
+they *did* finish; results are still returned in submission order.  A worker
+failure is never a raw ``BrokenProcessPool``: every batch that already
+finished is drained through ``on_complete`` first (so its shards persist),
+then a :class:`repro.faults.ShardExecutionError` names the failed shard's
+trial coordinates.  Passing ``faults=`` and/or ``retry=`` opts into the
+supervised executor (:func:`repro.faults.run_supervised`): per-shard
+submission, bounded retries on a simulated backoff clock, per-attempt
+timeouts, and pool respawn — with retried shards bit-identical to the
+fault-free run because every trial seed is a pure function of its spawn-key
+coordinates.
 """
 
 from __future__ import annotations
@@ -33,6 +42,15 @@ import numpy as np
 
 from repro.analysis.accuracy import summarize_errors
 from repro.core.params import ProtocolParams
+from repro.faults import (
+    FaultSchedule,
+    RetryPolicy,
+    ShardExecutionError,
+    get_fault_model,
+    plan_fault_schedule,
+    run_supervised,
+)
+from repro.utils.rng import SeedLike
 
 __all__ = [
     "METRIC_NAMES",
@@ -170,6 +188,32 @@ def metrics_from_columns(columns: dict) -> list[TrialMetrics]:
     return [tuple(float(column[i]) for column in series) for i in range(lengths.pop())]
 
 
+def _run_supervised_shard(task: ShardTask) -> tuple[list[TrialMetrics], float]:
+    """Supervised worker entry: one shard per submission (retry granularity)."""
+    started = time.perf_counter()
+    runner = decode_runner(task.runner)
+    metrics = compute_trial_metrics(runner, task.states, task.params, task.seeds)
+    return metrics, time.perf_counter() - started
+
+
+def _runner_label(task: ShardTask) -> str:
+    kind, payload = task.runner
+    if kind == "registry":
+        return repr(payload)
+    return repr(getattr(payload, "__name__", payload))
+
+
+def _describe_shards(tasks: Sequence[ShardTask], indices: Sequence[int]) -> str:
+    """Human-readable coordinates of the named shards (for error surfaces)."""
+    coords = ", ".join(
+        f"[{tasks[i].trial_start}, {tasks[i].trial_stop})" for i in indices
+    )
+    return (
+        f"protocol {_runner_label(tasks[indices[0]])} shard(s) at "
+        f"trials {coords}"
+    )
+
+
 def plan_batches(tasks: Sequence[ShardTask], workers: int) -> list[list[int]]:
     """Group task indices for pool submission, one workload pickle per batch.
 
@@ -198,6 +242,10 @@ def execute_shards(
     *,
     workers: int = 1,
     on_complete: Optional[Callable[[int, list[TrialMetrics], float], None]] = None,
+    faults=None,
+    fault_seed: SeedLike = None,
+    retry: Optional[RetryPolicy] = None,
+    on_lost: Optional[Callable[[int, Exception], None]] = None,
 ) -> list[list[TrialMetrics]]:
     """Execute shard tasks, returning their metrics in submission order.
 
@@ -206,12 +254,48 @@ def execute_shards(
     shard.  With a pool, shards are submitted in workload-sharing batches
     (:func:`plan_batches`) and ``on_complete(task_index, metrics, seconds)``
     fires per shard as each batch finishes, so callers can persist progress
-    incrementally; an exception from any shard propagates after
-    already-completed callbacks have run.
+    incrementally.  A worker failure first drains every batch that already
+    finished (their ``on_complete`` callbacks run, so their shards persist),
+    then raises :class:`~repro.faults.ShardExecutionError` naming the failed
+    shard's trial coordinates.
+
+    ``faults``/``retry`` opt into supervised execution through
+    :func:`repro.faults.run_supervised`: ``faults`` is a
+    :class:`~repro.faults.FaultModel` (or preset name) whose schedule over
+    the tasks descends from ``fault_seed``; ``retry`` bounds attempts with
+    simulated-clock backoff and optional per-attempt timeouts.  Retried
+    shards recompute bit-identical metrics (seeds are pure functions of
+    spawn-key coordinates).  A shard lost after max attempts raises, unless
+    ``on_lost(index, error)`` is given — then its result slot stays ``None``
+    and the caller degrades gracefully.
     """
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers}")
     results: list[Optional[list[TrialMetrics]]] = [None] * len(tasks)
+
+    if faults is not None or retry is not None:
+        model = get_fault_model(faults if faults is not None else "none")
+        schedule: Optional[FaultSchedule] = None
+        if model.active:
+            schedule = plan_fault_schedule(model, len(tasks), fault_seed)
+
+        def on_result(index: int, payload) -> None:
+            metrics, seconds = payload
+            results[index] = metrics
+            if on_complete is not None:
+                on_complete(index, metrics, seconds)
+
+        run_supervised(
+            _run_supervised_shard,
+            list(tasks),
+            workers=workers,
+            schedule=schedule,
+            retry=retry,
+            on_result=on_result,
+            on_lost=on_lost,
+            describe=lambda index: _describe_shards(tasks, [index]),
+        )
+        return results  # type: ignore[return-value]
 
     def handle(
         indices: Sequence[int], outcomes: Sequence[tuple[list[TrialMetrics], float]]
@@ -238,9 +322,30 @@ def execute_shards(
         try:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                failure: Optional[tuple[list[int], BaseException]] = None
                 for future in done:
-                    # .result() re-raises worker exceptions
-                    handle(future_indices[future], future.result())
+                    try:
+                        outcomes = future.result()
+                    except Exception as error:
+                        if failure is None:
+                            failure = (future_indices[future], error)
+                        continue
+                    handle(future_indices[future], outcomes)
+                if failure is not None:
+                    # Before surfacing the failure, sweep once more for
+                    # batches that finished in the meantime so their shards
+                    # persist through on_complete too.
+                    done, pending = wait(pending, timeout=0)
+                    for future in done:
+                        try:
+                            outcomes = future.result()
+                        except Exception:
+                            continue
+                        handle(future_indices[future], outcomes)
+                    indices, error = failure
+                    raise ShardExecutionError(
+                        f"{_describe_shards(tasks, indices)} failed: {error!r}"
+                    ) from error
         finally:
             for future in pending:
                 future.cancel()

@@ -34,15 +34,38 @@ Pipeline
 Together 1–3 make the whole run — estimates, counters, everything — a pure
 function of ``(workload, params, seed, traffic, block_rows)``: bit-identical
 at ``workers=1``, 2, or 4 (regression-tested).
+
+Fault tolerance
+---------------
+The service survives an imperfect machine on the same determinism budget:
+
+* ``run_service(..., faults=, retry=)`` executes block randomization under
+  :func:`repro.faults.run_supervised` — a deterministic fault schedule
+  (drawn from the root seed's dedicated fault stream) injects crashes,
+  hangs, and corrupt payloads; bounded retries on a *simulated* backoff
+  clock recover them with bit-identical aggregates, because block seeds are
+  pure functions of their spawn-key coordinates.  A block lost after max
+  attempts degrades the run gracefully: the result is marked ``degraded``,
+  the loss lands in :class:`TrafficStats` (``lost_blocks``/``lost_users``),
+  and ``effective_drop_rate`` widens the fault-adjusted radius accordingly.
+* ``run_service(..., journal=, resume=)`` writes a write-ahead journal
+  (:class:`repro.sim.journal.ServiceJournal`) of released estimates plus
+  periodic full-state snapshots.  After a kill, ``resume=True`` restores
+  the latest snapshot, re-verifies the journaled tail, and serves the
+  remaining periods — the released stream is bit-identical to the
+  uninterrupted run at any kill point and any worker count.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
+import hashlib
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Sequence, Union
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -57,7 +80,21 @@ from repro.core.vectorized import (
     partition_rows_by_order,
     validate_states,
 )
+from repro.faults import (
+    FaultSchedule,
+    RetryPolicy,
+    SupervisionReport,
+    get_fault_model,
+    plan_fault_schedule,
+    run_supervised,
+)
 from repro.sim.engine import StepSnapshot
+from repro.sim.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    ServiceJournal,
+)
+from repro.sim.store import ArtifactCorruptedError, states_digest
 from repro.utils.chunking import DEFAULT_BLOCK_ROWS, plan_row_blocks
 from repro.utils.rng import SeedLike, as_seed_sequence
 from repro.workloads.generators import Population
@@ -76,10 +113,17 @@ __all__ = [
     "run_service",
 ]
 
-# Seed-tree stream tags: root.spawn(3) -> (workload, protocol, traffic).
+# Seed-tree stream tags: root.spawn(4) -> (workload, protocol, traffic,
+# faults).  SeedSequence children are keyed incrementally, so adding the
+# fault stream left streams 0-2 — and therefore every historical run —
+# bit-identical.
 _STREAM_WORKLOAD = 0
 _STREAM_PROTOCOL = 1
 _STREAM_TRAFFIC = 2
+_STREAM_FAULTS = 3
+
+#: Default period cadence for journal snapshots.
+_DEFAULT_SNAPSHOT_EVERY = 16
 
 #: Submission-queue capacity.  Small enough that a burst actually exercises
 #: backpressure (producers block on ``put``), large enough that the consumer
@@ -117,7 +161,14 @@ class AggregateMessage:
 
 @dataclass(frozen=True)
 class TrafficStats:
-    """Delivery accounting for one service run."""
+    """Delivery accounting for one service run.
+
+    ``lost_blocks``/``lost_users`` record graceful degradation: seed blocks
+    whose randomization was permanently lost after exhausting retries.
+    Their users never produced reports, so the loss is folded into
+    ``effective_drop_rate`` — the fault-adjusted radius widens accordingly
+    instead of the run failing.
+    """
 
     total_messages: int
     delivered_messages: int
@@ -131,13 +182,19 @@ class TrafficStats:
     dropped_reports: int
     duplicate_reports: int
     peak_queue_depth: int
+    lost_blocks: int = 0
+    lost_users: int = 0
+    total_users: int = 0
 
     @property
     def effective_drop_rate(self) -> float:
-        """Fraction of reports lost (drops + stragglers past the horizon)."""
-        if not self.total_reports:
-            return 0.0
-        return self.dropped_reports / self.total_reports
+        """Fraction of reports lost (drops, stragglers, and lost blocks)."""
+        rate = 0.0
+        if self.total_reports:
+            rate += self.dropped_reports / self.total_reports
+        if self.total_users and self.lost_users:
+            rate += self.lost_users / self.total_users
+        return rate
 
     @property
     def effective_duplicate_rate(self) -> float:
@@ -149,7 +206,15 @@ class TrafficStats:
 
 @dataclass(frozen=True)
 class ServiceResult:
-    """A completed service run: estimates plus delivery provenance."""
+    """A completed service run: estimates plus delivery provenance.
+
+    ``degraded`` is True when any seed block was permanently lost (its ids
+    in ``lost_blocks``); the estimates are still served, with the loss
+    accounted in ``stats``.  ``fault_report`` carries the supervision
+    payload when fault injection or retries were active, and
+    ``resumed_from`` is the period a journal recovery restarted at (0 for
+    an uninterrupted run).
+    """
 
     estimates: np.ndarray
     true_counts: np.ndarray
@@ -161,6 +226,10 @@ class ServiceResult:
     workers: int
     blocks: int
     elapsed_seconds: float
+    degraded: bool = False
+    lost_blocks: tuple[int, ...] = ()
+    fault_report: Optional[dict] = None
+    resumed_from: int = 0
 
     @property
     def reports_per_second(self) -> float:
@@ -481,6 +550,77 @@ class IngestionService:
                 pass
             self._consumer = None
 
+    # -- journaling -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serialize the full service state as a JSON-safe snapshot body.
+
+        Everything a journal recovery needs to pick up mid-stream: the
+        tree's node sums, the online clock, both deduplication memories,
+        the early-arrival buffer, the released prefix, and the delivery
+        counters.  Floats travel through JSON ``repr`` serialization, so
+        the restored state is bit-identical.
+        """
+        return {
+            "t": self.closed_period,
+            "released": list(self._released),
+            "node_values": [float(v) for v in self._server.flat_node_values()],
+            "server_time": int(self._server.time),
+            "reports_received": int(self._server.reports_received),
+            "seen_aggregates": [
+                [list(source), int(order), int(index)]
+                for source, order, index in sorted(self._server.seen_aggregates)
+            ],
+            "seen_ids": [list(key) for key in sorted(self._seen_ids)],
+            "early": {
+                str(emitted_at): [dataclasses.asdict(m) for m in messages]
+                for emitted_at, messages in sorted(self._early.items())
+            },
+            "delivered_reports": self.delivered_reports,
+            "delivered_messages": self.delivered_messages,
+            "duplicates_discarded": self.duplicates_discarded,
+            "duplicate_reports": self.duplicate_reports,
+            "skew_buffered": self.skew_buffered,
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Adopt a snapshot onto a *fresh* service (journal recovery)."""
+        if self._released or self._seen_ids or self._current or self._early:
+            raise ValueError(
+                "restore_state requires a fresh service (nothing ingested "
+                "or released yet)"
+            )
+        self._server.restore_aggregate_state(
+            snapshot["node_values"],
+            time=int(snapshot["server_time"]),
+            reports_received=int(snapshot["reports_received"]),
+            seen_aggregates=snapshot["seen_aggregates"],
+        )
+        self._released = [float(value) for value in snapshot["released"]]
+        self._seen_ids = {tuple(key) for key in snapshot["seen_ids"]}
+        self._early = {
+            int(emitted_at): [
+                AggregateMessage(
+                    message_id=tuple(body["message_id"]),
+                    order=int(body["order"]),
+                    index=int(body["index"]),
+                    total=float(body["total"]),
+                    count=int(body["count"]),
+                    emitted_at=int(body["emitted_at"]),
+                    copy=int(body["copy"]),
+                )
+                for body in messages
+            ]
+            for emitted_at, messages in snapshot["early"].items()
+        }
+        self.delivered_reports = int(snapshot["delivered_reports"])
+        self.delivered_messages = int(snapshot["delivered_messages"])
+        self.duplicates_discarded = int(snapshot["duplicates_discarded"])
+        self.duplicate_reports = int(snapshot["duplicate_reports"])
+        self.skew_buffered = int(snapshot["skew_buffered"])
+        self.peak_queue_depth = int(snapshot["peak_queue_depth"])
+
 
 async def _deliver(
     service: IngestionService,
@@ -501,10 +641,23 @@ async def _serve(
     burst: int,
     callback: Optional[Callable[[StepSnapshot], None]],
     true_counts: np.ndarray,
+    *,
+    start: int = 0,
+    journal: Optional[ServiceJournal] = None,
+    snapshot_every: int = _DEFAULT_SNAPSHOT_EVERY,
+    expected: Sequence[float] = (),
 ) -> None:
-    """Play the horizon through the event loop, one gather per period."""
+    """Play the horizon through the event loop, one gather per period.
+
+    ``start`` skips periods a journal snapshot already covers; ``expected``
+    carries the journaled estimates for periods ``start+1 ..
+    start+len(expected)`` — those are *re-verified* (a divergence raises
+    :class:`~repro.sim.journal.JournalError`, never silently diverges),
+    while periods beyond them are appended to ``journal`` (with a full
+    snapshot every ``snapshot_every`` closes).
+    """
     try:
-        for t in range(1, d + 1):
+        for t in range(start + 1, d + 1):
             await service.open_period(t)
             producers = [
                 _deliver(service, messages, burst)
@@ -515,6 +668,26 @@ async def _serve(
                 await asyncio.gather(*producers)
             reports_before = service.delivered_reports
             estimate = await service.close_period(t)
+            replayed = t - start <= len(expected)
+            if replayed:
+                journaled = expected[t - start - 1]
+                if estimate != journaled:
+                    raise JournalError(
+                        f"resume diverged at period {t}: journaled estimate "
+                        f"{journaled!r} but the replay produced {estimate!r}; "
+                        "the journal does not belong to this run"
+                    )
+            elif journal is not None:
+                journal.append(
+                    "period",
+                    {
+                        "t": t,
+                        "estimate": estimate,
+                        "true_count": int(true_counts[t - 1]),
+                    },
+                )
+                if t % snapshot_every == 0 and t < d:
+                    journal.append("snapshot", service.snapshot_state())
             if callback is not None:
                 callback(
                     StepSnapshot(
@@ -567,16 +740,160 @@ def _plan_blocks(
     return specs
 
 
+def _describe_block(specs: Sequence[_BlockSpec], index: int) -> str:
+    spec = specs[index]
+    return f"service block {spec.block} (users [{spec.start}, {spec.stop}))"
+
+
 def _execute_blocks(
-    specs: Sequence[_BlockSpec], workers: int
-) -> Iterator[_BlockAggregates]:
-    """Randomize blocks, yielding results in block order at any worker count."""
-    if workers <= 1 or len(specs) <= 1:
-        for spec in specs:
-            yield _randomize_service_block(spec)
-        return
-    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-        yield from pool.map(_randomize_service_block, specs)
+    specs: Sequence[_BlockSpec],
+    workers: int,
+    *,
+    schedule: Optional[FaultSchedule] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_lost: Optional[Callable[[int, Exception], None]] = None,
+) -> tuple[list[Optional[_BlockAggregates]], Optional[SupervisionReport]]:
+    """Randomize every block, in block order, at any worker count.
+
+    With ``schedule``/``retry`` the work runs under
+    :func:`repro.faults.run_supervised` — injected faults and real worker
+    deaths are retried on the simulated backoff clock, and a block lost for
+    good leaves ``None`` in its slot (graceful degradation) when ``on_lost``
+    is given.  Block seeds are pure functions of their spawn-key
+    coordinates, so a retried block's aggregates are bit-identical.
+    """
+    if schedule is None and retry is None:
+        if workers <= 1 or len(specs) <= 1:
+            return [_randomize_service_block(spec) for spec in specs], None
+        pool_workers = min(workers, len(specs))
+        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+            return list(pool.map(_randomize_service_block, specs)), None
+    results, report = run_supervised(
+        _randomize_service_block,
+        list(specs),
+        workers=workers,
+        schedule=schedule,
+        retry=retry,
+        on_lost=on_lost,
+        describe=lambda index: _describe_block(specs, index),
+    )
+    return results, report
+
+
+def _block_truth(spec: _BlockSpec) -> tuple[np.ndarray, np.ndarray]:
+    """A lost block's ground truth, recomputed coordinator-side.
+
+    Sampling and the per-user order draw are pure functions of the block's
+    seed children, so the truth of a block whose *randomization* was
+    permanently lost is still exactly known — only its reports are gone.
+    """
+    params = spec.params
+    rows = spec.stop - spec.start
+    if spec.states is not None:
+        matrix = np.asarray(spec.states)
+    else:
+        assert spec.population is not None
+        matrix = spec.population.sample(
+            rows, np.random.default_rng(spec.workload_child)
+        )
+    rng = np.random.default_rng(spec.protocol_child)
+    orders = rng.choice(
+        params.d.bit_length(),
+        size=rows,
+        p=order_probabilities(params.d, None),
+    )
+    return matrix.sum(axis=0, dtype=np.int64), orders
+
+
+def _journal_config(
+    params: ProtocolParams,
+    root: np.random.SeedSequence,
+    traffic: TrafficModel,
+    block_rows: int,
+    blocks: int,
+    family: RandomizerFamily,
+    kernel: Optional[str],
+    workload: Union[np.ndarray, Population],
+    reject_duplicates: bool,
+    open_interval_policy: str,
+    fault_model,
+    retry: Optional[RetryPolicy],
+) -> dict:
+    """The run fingerprint a journal is bound to (resume equality gate)."""
+    if isinstance(workload, np.ndarray):
+        workload_fp = states_digest(workload)
+    else:
+        workload_fp = f"population:{type(workload).__name__}"
+    return {
+        "schema": JOURNAL_SCHEMA_VERSION,
+        "params": {
+            "n": params.n,
+            "d": params.d,
+            "k": params.k,
+            "epsilon": params.epsilon,
+            "beta": params.beta,
+        },
+        "seed": hashlib.sha256(
+            str((root.entropy, root.spawn_key)).encode()
+        ).hexdigest(),
+        "traffic": dataclasses.asdict(traffic),
+        "block_rows": int(block_rows),
+        "blocks": int(blocks),
+        "family": family.name,
+        "kernel": kernel,
+        "workload": workload_fp,
+        "reject_duplicates": bool(reject_duplicates),
+        "open_interval_policy": open_interval_policy,
+        "faults": (
+            dataclasses.asdict(fault_model) if fault_model is not None else None
+        ),
+        "retry": dataclasses.asdict(retry) if retry is not None else None,
+    }
+
+
+def _scan_journal(
+    records, config: dict, path: Path
+) -> tuple[int, Optional[dict], list[float]]:
+    """Validate journal records against this invocation's ``config``.
+
+    Returns ``(start, snapshot, expected)``: the period to resume from, the
+    snapshot body to restore (``None`` → replay from scratch), and the
+    journaled estimates for periods ``start+1..`` that the replay must
+    reproduce exactly.
+    """
+    head = records[0]
+    if head.kind != "config":
+        raise ArtifactCorruptedError(
+            f"journal {path} does not begin with a config record; it cannot "
+            "be trusted — delete it to start fresh"
+        )
+    if head.body != config:
+        raise JournalError(
+            f"journal {path} was written by a different run configuration; "
+            "refusing to splice two runs together (delete the journal to "
+            "start fresh)"
+        )
+    estimates: list[float] = []
+    snapshot: Optional[dict] = None
+    for record in records[1:]:
+        if record.kind == "period":
+            t = int(record.body["t"])
+            if t != len(estimates) + 1:
+                raise ArtifactCorruptedError(
+                    f"journal {path} period records are not consecutive "
+                    f"(expected t={len(estimates) + 1}, found t={t})"
+                )
+            estimates.append(float(record.body["estimate"]))
+        elif record.kind == "snapshot":
+            if int(record.body["t"]) <= len(estimates):
+                snapshot = record.body
+        else:
+            raise ArtifactCorruptedError(
+                f"journal {path} contains an unknown record kind "
+                f"{record.kind!r}"
+            )
+    start = int(snapshot["t"]) if snapshot is not None else 0
+    return start, snapshot, estimates[start:]
 
 
 def run_service(
@@ -592,6 +909,11 @@ def run_service(
     reject_duplicates: bool = True,
     open_interval_policy: str = "raise",
     callback: Optional[Callable[[StepSnapshot], None]] = None,
+    faults=None,
+    retry: Optional[RetryPolicy] = None,
+    journal: Union[ServiceJournal, str, Path, None] = None,
+    resume: bool = False,
+    snapshot_every: int = _DEFAULT_SNAPSHOT_EVERY,
 ) -> ServiceResult:
     """Run the full ingestion pipeline: shard, schedule, serve.
 
@@ -600,12 +922,32 @@ def run_service(
     matrix never exists in one process) or a pre-sampled states matrix.
     ``traffic`` is a :class:`~repro.workloads.traffic.TrafficModel` or a
     :data:`~repro.workloads.traffic.TRAFFIC_MODELS` preset name.  The root
-    ``seed`` spawns the workload, protocol, and traffic streams; the result
-    is bit-identical for any ``workers`` (the sharding contract) and, fault
-    -free, consumes no traffic randomness.
+    ``seed`` spawns the workload, protocol, traffic, and fault streams; the
+    result is bit-identical for any ``workers`` (the sharding contract)
+    and, fault-free, consumes no traffic randomness.
+
+    ``faults`` (a :class:`~repro.faults.FaultModel` or preset name) and
+    ``retry`` (a :class:`~repro.faults.RetryPolicy`) run block
+    randomization under supervision: injected crashes/hangs/corruptions and
+    real worker deaths are retried on the simulated backoff clock, with
+    recovered runs bit-identical to fault-free ones.  A block permanently
+    lost degrades the run instead of failing it — see
+    :class:`ServiceResult.degraded`.
+
+    ``journal`` names a write-ahead journal directory.  A fresh run writes
+    its config, every released estimate, and a snapshot every
+    ``snapshot_every`` periods; after a kill, ``resume=True`` restores the
+    latest snapshot, re-verifies the journaled tail against a replay, and
+    serves the remaining periods — the released stream is bit-identical to
+    an uninterrupted run.  An existing journal without ``resume=True`` is
+    refused (:class:`~repro.sim.journal.JournalError`), never overwritten.
     """
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers}")
+    if snapshot_every < 1:
+        raise ValueError(
+            f"snapshot_every must be at least 1, got {snapshot_every}"
+        )
     if isinstance(traffic, str):
         try:
             traffic = TRAFFIC_MODELS[traffic]
@@ -616,11 +958,13 @@ def run_service(
             ) from None
     if isinstance(workload, np.ndarray):
         validate_states(workload, params)
+    fault_model = get_fault_model(faults) if faults is not None else None
+    supervised = fault_model is not None or retry is not None
 
     started = time.perf_counter()
     d = params.d
     root = as_seed_sequence(seed, reset_spawn_counter=True)
-    streams = root.spawn(3)
+    streams = root.spawn(4)
     specs = _plan_blocks(
         workload,
         params,
@@ -636,6 +980,58 @@ def run_service(
         family if family is not None else default_family(params)
     )
 
+    schedule = None
+    if fault_model is not None and fault_model.active:
+        schedule = plan_fault_schedule(
+            fault_model, len(specs), streams[_STREAM_FAULTS]
+        )
+
+    wal: Optional[ServiceJournal] = None
+    if journal is not None:
+        wal = (
+            journal
+            if isinstance(journal, ServiceJournal)
+            else ServiceJournal(journal)
+        )
+    start, snapshot, expected = 0, None, []
+    if wal is not None:
+        config = _journal_config(
+            params,
+            root,
+            traffic,
+            block_rows,
+            len(specs),
+            resolved_family,
+            kernel,
+            workload,
+            reject_duplicates,
+            open_interval_policy,
+            fault_model,
+            retry,
+        )
+        if wal.exists() and not resume:
+            raise JournalError(
+                f"journal at {wal.path} already exists; pass resume=True to "
+                "recover it, or delete it to start fresh"
+            )
+        records = wal.recover() if wal.exists() else []
+        if records:
+            start, snapshot, expected = _scan_journal(records, config, wal.path)
+        else:
+            wal.append("config", config)
+
+    lost: list[int] = []
+    if supervised:
+        block_results, report = _execute_blocks(
+            specs,
+            workers,
+            schedule=schedule,
+            retry=retry,
+            on_lost=lambda index, error: lost.append(index),
+        )
+    else:
+        block_results, report = _execute_blocks(specs, workers)
+
     service = IngestionService(
         d,
         resolved_family.c_gap,
@@ -648,8 +1044,16 @@ def run_service(
     total_messages = delivered_plan = dropped_messages = 0
     late_messages = duplicate_messages = 0
     total_reports = dropped_reports = 0
+    lost_users = 0
 
-    for aggregates in _execute_blocks(specs, workers):
+    for index, aggregates in enumerate(block_results):
+        if aggregates is None:
+            spec = specs[index]
+            counts, orders = _block_truth(spec)
+            true_counts += counts
+            order_chunks.append(orders)
+            lost_users += spec.stop - spec.start
+            continue
         true_counts += aggregates.true_counts
         order_chunks.append(aggregates.orders)
         messages, emitted = _block_messages(aggregates, d)
@@ -688,9 +1092,26 @@ def run_service(
         for period, period_messages in block_periods.items():
             by_period.setdefault(period, []).append(period_messages)
 
+    if snapshot is not None:
+        service.restore_state(snapshot)
+        # submit_period <= fold period always, so everything the snapshot
+        # has not already folded (or buffered) submits strictly after it.
+        by_period = {t: groups for t, groups in by_period.items() if t > start}
+
     burst = max(1, int(round(traffic.burst_factor)))
     asyncio.run(
-        _serve(service, by_period, d, burst, callback, true_counts)
+        _serve(
+            service,
+            by_period,
+            d,
+            burst,
+            callback,
+            true_counts,
+            start=start,
+            journal=wal,
+            snapshot_every=snapshot_every,
+            expected=expected,
+        )
     )
     elapsed = time.perf_counter() - started
 
@@ -707,6 +1128,9 @@ def run_service(
         dropped_reports=dropped_reports,
         duplicate_reports=service.duplicate_reports,
         peak_queue_depth=service.peak_queue_depth,
+        lost_blocks=len(lost),
+        lost_users=lost_users,
+        total_users=params.n,
     )
     estimates = np.asarray(service.released, dtype=np.float64)
     return ServiceResult(
@@ -720,4 +1144,8 @@ def run_service(
         workers=workers,
         blocks=len(specs),
         elapsed_seconds=elapsed,
+        degraded=bool(lost),
+        lost_blocks=tuple(sorted(lost)),
+        fault_report=report.as_payload() if report is not None else None,
+        resumed_from=start,
     )

@@ -15,8 +15,9 @@ import pytest
 
 from repro.analysis.conformance import fault_adjusted_radius, protocol_radius
 from repro.core.params import ProtocolParams
-from repro.fuzz.corpus import FuzzCorpus, entry_from_record
+from repro.fuzz.corpus import FuzzCorpus, entry_from_record, replay_entry
 from repro.fuzz.engine import (
+    CHAOS_CAPABLE_TARGETS,
     FAULT_CAPABLE_TARGETS,
     FUZZ_TARGETS,
     build_runner,
@@ -146,13 +147,42 @@ def test_non_engine_targets_normalize_fault_genes_to_zero():
         assert record.radius == record.base_radius
     rng = np.random.default_rng(0)
     genome = random_genome(rng, _PARAMS.k)
+    while not genome.has_chaos:  # make the chaos tier observable
+        genome = random_genome(rng, _PARAMS.k)
     for target in FUZZ_TARGETS:
         normalized = normalize_genome(genome, target)
-        if target in FAULT_CAPABLE_TARGETS:
+        if target in CHAOS_CAPABLE_TARGETS:
             assert normalized == genome
+        elif target in FAULT_CAPABLE_TARGETS:
+            assert normalized == genome.without_chaos()
+            assert normalized.drop_rate == genome.drop_rate
+            assert normalized.duplicate_rate == genome.duplicate_rate
         else:
             assert normalized.drop_rate == 0.0
             assert normalized.duplicate_rate == 0.0
+            assert not normalized.has_chaos
+
+
+def test_service_target_evolves_and_replays_chaos_genes(tmp_path):
+    """The chaos seam end-to-end: evolved faults, bit-identical replay.
+
+    The service target must actually explore crash/hang/corrupt genes, and
+    a corpus entry carrying them must replay to the recorded metrics —
+    injected faults are recovered by supervision, so the measurement stays
+    a pure function of the genome.
+    """
+    outcome = run_fuzz(
+        "service", _PARAMS, budget=6, seed=21, trials=1, population_size=4
+    )
+    chaotic = [r for r in outcome.records if r.genome.has_chaos]
+    assert chaotic, "the service target never drew a chaos gene"
+    entry = entry_from_record(outcome, chaotic[0])
+    corpus = FuzzCorpus(tmp_path)
+    corpus.write(entry)
+    (loaded,) = corpus.load_all()
+    assert loaded == entry
+    metrics = replay_entry(loaded)
+    assert tuple(tuple(trial) for trial in metrics) == entry.metrics
 
 
 def test_every_fuzz_target_runs_one_generation():

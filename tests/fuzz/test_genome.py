@@ -129,6 +129,9 @@ def test_every_field_mutation_changes_the_digest():
         "lifetime_frac": 0.75,
         "drop_rate": 0.2,
         "duplicate_rate": 0.0,
+        "crash_rate": 0.1,
+        "hang_rate": 0.15,
+        "corrupt_rate": 0.2,
     }
     for field in dataclasses.fields(FuzzGenome):
         variant = dataclasses.replace(genome, **{field.name: changed[field.name]})
@@ -184,6 +187,65 @@ def test_without_faults_zeroes_only_the_fault_genes():
         genome, drop_rate=0.0, duplicate_rate=0.0
     ) == clean
     assert clean.without_faults() is clean  # already clean: no new object
+
+
+def test_chaos_free_payload_keeps_the_legacy_schema():
+    """Digest back-compat: a chaos-free genome serializes exactly as v1.
+
+    The committed conformance corpus was written before the chaos genes
+    existed; its entry digests hash the genome payload, so a chaos-free
+    genome must keep emitting the schema-1 payload byte-for-byte.
+    """
+    genome = FuzzGenome(
+        generator="bounded",
+        flip_frac=0.5,
+        start_prob=0.25,
+        mode="uniform",
+        exact_k=False,
+        arrival_frac=0.5,
+        lifetime_frac=0.5,
+        drop_rate=0.1,
+        duplicate_rate=0.05,
+    )
+    assert not genome.has_chaos
+    payload = genome.to_payload()
+    assert payload["schema"] == 1
+    assert not {"crash_rate", "hang_rate", "corrupt_rate"} & set(payload)
+    assert FuzzGenome.from_payload(payload) == genome
+
+    chaotic = dataclasses.replace(genome, crash_rate=0.1, hang_rate=0.05)
+    assert chaotic.has_chaos
+    upgraded = chaotic.to_payload()
+    assert upgraded["schema"] == 2
+    assert upgraded["crash_rate"] == 0.1
+    clone = FuzzGenome.from_payload(upgraded)
+    assert clone == chaotic
+    assert clone.digest() == chaotic.digest()
+
+
+def test_without_chaos_zeroes_only_the_chaos_genes():
+    genome = FuzzGenome(
+        generator="spike",
+        flip_frac=0.5,
+        start_prob=0.25,
+        mode="bursty",
+        exact_k=True,
+        arrival_frac=0.5,
+        lifetime_frac=0.5,
+        drop_rate=0.2,
+        duplicate_rate=0.1,
+        crash_rate=0.1,
+        hang_rate=0.05,
+        corrupt_rate=0.2,
+    )
+    clean = genome.without_chaos()
+    assert not clean.has_chaos
+    assert clean.drop_rate == 0.2 and clean.duplicate_rate == 0.1
+    assert clean.without_chaos() is clean  # already clean: no new object
+    # without_faults sweeps delivery *and* chaos genes.
+    bare = genome.without_faults()
+    assert not bare.has_chaos
+    assert bare.drop_rate == 0.0 and bare.duplicate_rate == 0.0
 
 
 def test_all_modes_and_generators_are_buildable():

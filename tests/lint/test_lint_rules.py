@@ -145,6 +145,34 @@ FIXTURES = [
         "        server.receive_aggregate(order, index, total, count)\n"
         "    return server\n",
     ),
+    (
+        "REP110",
+        "src/repro/sim/fixture.py",
+        "import time\ndef retry(fn, attempts):\n"
+        "    for n in range(attempts):\n"
+        "        try:\n"
+        "            return fn()\n"
+        "        except OSError:\n"
+        "            time.sleep(0.5 * 2**n)\n",
+        "from repro.faults import SimulatedClock\n"
+        "def retry(fn, attempts, policy):\n"
+        "    clock = SimulatedClock()\n"
+        "    for n in range(attempts):\n"
+        "        try:\n"
+        "            return fn()\n"
+        "        except OSError:\n"
+        "            clock.advance(policy.backoff(n))\n",
+    ),
+    (
+        "REP110",
+        "src/repro/sim/fixture.py",
+        "import asyncio\nasync def drain(queue):\n"
+        "    while not queue.empty():\n"
+        "        await asyncio.sleep(0.1)\n",
+        "import asyncio\nasync def drain(queue):\n"
+        "    while not queue.empty():\n"
+        "        await asyncio.sleep(0)\n",
+    ),
 ]
 
 

@@ -13,11 +13,13 @@ from repro.bench import (
     HEADLINE_POINT,
     bench_grid as _bench_grid,  # aliased: pytest.ini collects bench_* names
     bench_rng as _bench_rng,
+    chaos_bench_grid as _chaos_bench_grid,
     format_bench_table,
     format_protocol_bench_table,
     format_service_bench_table,
     headline_speedup,
     protocol_bench_grid as _protocol_bench_grid,
+    run_chaos_bench,
     run_kernel_bench,
     run_protocol_bench,
     run_service_bench,
@@ -199,7 +201,8 @@ class TestServiceBench:
         assert payload["all_within_radius"] is True
         assert payload["headline_reports_per_second"] > 0
         expected_rows = sum(
-            len(point["workers"]) for point in _service_bench_grid("smoke")
+            len(point["workers"]) * len(point.get("faults", [None]))
+            for point in _service_bench_grid("smoke")
         )
         assert len(payload["results"]) == expected_rows
         for row in payload["results"]:
@@ -242,6 +245,44 @@ class TestServiceBench:
         assert main(["bench", "--mode", "service", "--scale", "smoke"]) == 0
         assert (tmp_path / "BENCH_service.json").exists()
         assert not (tmp_path / "BENCH_kernels.json").exists()
+
+
+class TestChaosBench:
+    def test_grid_scales(self):
+        smoke = _chaos_bench_grid("smoke")
+        assert smoke[0]["faults"] == [None, "crash", "hang", "corrupt", "chaos"]
+        assert "block_rows" in smoke[0]
+        with pytest.raises(ValueError, match="scale"):
+            _chaos_bench_grid("huge")
+
+    def test_smoke_payload_recovers_injected_faults(self):
+        payload = run_chaos_bench(scale="smoke", seed=0)
+        assert payload["benchmark"] == "chaos"
+        assert payload["all_bit_identical"] is True
+        assert payload["all_within_radius"] is True
+        rows = payload["results"]
+        faulted = [row for row in rows if row["faults"] != "none"]
+        assert faulted, "the chaos grid must exercise fault models"
+        assert sum(row["faults_recovered"] for row in faulted) > 0
+        assert sum(row["retries"] for row in faulted) > 0
+        for row in rows:
+            assert row["bit_identical"] is True
+            assert row["degraded"] is False
+
+    def test_cli_chaos_emits_json_and_gates_the_contract(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        assert main(["chaos", "--scale", "smoke", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "chaos"
+        text = capsys.readouterr().out
+        assert "chaos recovery trajectory" in text
+        assert "recovery contract" in text
+
+    def test_cli_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scale == "quick"
+        assert args.out == "BENCH_service.json"
+        assert args.seed == 0
 
 
 class TestBenchCli:

@@ -359,6 +359,34 @@ class TestServeSim:
         assert "dedup=off" in out
         assert "duplicate" in out
 
+    def test_faults_flag_drills_recovery(self, capsys):
+        assert main(
+            ["serve-sim", "--n", "800", "--d", "16", "--k", "2",
+             "--faults", "chaos", "--progress", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "supervision:" in out
+        assert "simulated backoff" in out
+        assert "within the fault-adjusted conformance radius" in out
+
+    def test_journal_kill_resume_round_trip(self, capsys, tmp_path):
+        journal = tmp_path / "journal"
+        # d=32 so the default snapshot cadence (16) leaves a mid-run
+        # snapshot for the resume to restart from.
+        base = ["serve-sim", "--n", "800", "--d", "32", "--k", "2",
+                "--progress", "0", "--journal", str(journal)]
+        assert main(base) == 0
+        capsys.readouterr()
+        # A second run without --resume must refuse to clobber the journal.
+        assert main(base) == 1
+        assert "resume" in capsys.readouterr().err
+        assert main([*base, "--resume"]) == 0
+        assert "resumed from the journal" in capsys.readouterr().out
+
+    def test_unknown_fault_model_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--faults", "nope"])
+
     def test_unknown_scenario_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve-sim", "--scenario", "nope"])
